@@ -1,0 +1,47 @@
+// Ablation of the V-matrix scheduling (design choice of Section V.C):
+// row-based scheduling maps rows to PEs and starves the array when the
+// matrix has fewer rows than PEs (rank r < 64); the paper's column-
+// based scheduling keeps utilisation near 100% by mapping columns and
+// reducing partial sums in the tree.
+//
+// Expected shape: row-based utilisation ≈ r/64 for r < 64; column-based
+// stays high for every rank (paper: "close to 100% even when the rank
+// size r is as low as 16").
+
+#include <iostream>
+
+#include "arch/params.hpp"
+#include "common/table.hpp"
+#include "sim/schedule.hpp"
+
+int main() {
+  using namespace sparsenn;
+
+  const ArchParams params = ArchParams::paper();
+  const std::size_t nnz_in = 400;  // typical nonzero inputs per layer
+
+  print_section(std::cout,
+                "Ablation — V matvec scheduling (rank × n, n = 1000)");
+  Table table({"rank", "row-based cycles", "row util(%)",
+               "column-based cycles", "col util(%)", "speedup(x)"});
+  for (const std::size_t rank : {4, 8, 16, 25, 32, 50, 64, 100, 128}) {
+    const ScheduleEstimate row =
+        estimate_row_schedule(rank, nnz_in, params);
+    const ScheduleEstimate col =
+        estimate_column_schedule(rank, nnz_in, params);
+    table.add_row({Cell{rank}, Cell{row.cycles},
+                   Cell{100.0 * row.pe_utilization, 1}, Cell{col.cycles},
+                   Cell{100.0 * col.pe_utilization, 1},
+                   Cell{static_cast<double>(row.cycles) /
+                            static_cast<double>(col.cycles),
+                        2}});
+  }
+  table.print(std::cout);
+  table.save_csv("ablation_schedule.csv");
+
+  std::cout << "\nRow-based scheduling leaves 64 - r PEs idle when the V "
+               "matrix has\nr < 64 rows; column-based scheduling (the "
+               "paper's choice) spreads the\ncolumns over all PEs and "
+               "reduces partial sums in the H-tree's ACC stage.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+#pragma once
+// Shared helpers for the table/figure benches: reduced-vs-full scaling
+// (SPARSENN_FULL=1 runs the paper-scale configuration) and common
+// option blocks so every bench trains comparable networks.
+
+#include <cstddef>
+#include <iostream>
+#include <vector>
+
+#include "common/config.hpp"
+#include "data/dataset.hpp"
+#include "nn/trainer.hpp"
+
+namespace sparsenn::bench {
+
+/// Scale of one bench run.
+struct Scale {
+  std::size_t hidden = 512;      ///< hidden width (paper: 1000)
+  std::size_t train_size = 3000;
+  std::size_t test_size = 600;
+  std::size_t epochs = 4;
+  std::size_t sim_samples = 3;   ///< inferences per hardware point
+  bool full = false;
+};
+
+inline Scale resolve_scale() {
+  Scale s;
+  if (full_scale_requested()) {
+    s.full = true;
+    s.hidden = 1000;
+    s.train_size = 10000;
+    s.test_size = 2000;
+    s.epochs = 10;
+    s.sim_samples = 8;
+  }
+  return s;
+}
+
+inline void announce(const Scale& s, const char* what) {
+  std::cout << "# " << what << "\n"
+            << "# scale: " << (s.full ? "FULL (paper)" : "reduced")
+            << "  hidden=" << s.hidden << " train=" << s.train_size
+            << " epochs=" << s.epochs
+            << (s.full ? "" : "   (set SPARSENN_FULL=1 for paper scale)")
+            << "\n";
+}
+
+inline DatasetOptions dataset_options(const Scale& s,
+                                      std::uint64_t seed = 7) {
+  DatasetOptions d;
+  d.train_size = s.train_size;
+  d.test_size = s.test_size;
+  d.seed = seed;
+  return d;
+}
+
+inline TrainOptions train_options(const Scale& s, PredictorKind kind,
+                                  std::size_t rank) {
+  TrainOptions t;
+  t.kind = kind;
+  t.rank = rank;
+  t.epochs = s.epochs;
+  return t;
+}
+
+}  // namespace sparsenn::bench

@@ -1,0 +1,87 @@
+// google-benchmark microbenchmarks of the computational kernels the
+// reproduction is built on: dense matvec, truncated SVD, quantisation,
+// router arbitration throughput, and the PE W-phase consumption loop.
+
+#include <benchmark/benchmark.h>
+
+#include "arch/params.hpp"
+#include "common/fixed_point.hpp"
+#include "common/rng.hpp"
+#include "noc/htree.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/svd.hpp"
+
+namespace {
+
+using namespace sparsenn;
+
+void BM_Matvec(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng{1};
+  const Matrix a = Matrix::randn(n, n, 0.1f, rng);
+  Vector x(n, 0.5f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matvec(a, x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_Matvec)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_TruncatedSvd(benchmark::State& state) {
+  const auto rank = static_cast<std::size_t>(state.range(0));
+  Rng rng{2};
+  const Matrix w = Matrix::randn(512, 512, 0.1f, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(truncated_svd(w, rank));
+  }
+}
+BENCHMARK(BM_TruncatedSvd)->Arg(5)->Arg(15)->Arg(50);
+
+void BM_Quantize(benchmark::State& state) {
+  Rng rng{3};
+  std::vector<float> values(1 << 16);
+  for (float& v : values) v = static_cast<float>(rng.normal(0.0, 1.0));
+  const FixedPointFormat fmt = choose_format(values);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quantize(values, fmt));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_Quantize);
+
+void BM_HTreeThroughput(benchmark::State& state) {
+  const ArchParams params = ArchParams::paper();
+  const auto per_pe = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    UpwardTree tree(params, RouterMode::kArbitrate);
+    std::vector<std::size_t> cursor(params.num_pes, 0);
+    std::size_t received = 0;
+    const std::size_t expected = params.num_pes * per_pe;
+    std::uint64_t cycles = 0;
+    while (received < expected) {
+      ++cycles;
+      for (std::size_t pe = 0; pe < params.num_pes; ++pe) {
+        if (cursor[pe] < per_pe && tree.can_inject(pe)) {
+          tree.inject(pe,
+                      Flit{.index = static_cast<std::uint32_t>(
+                               pe + cursor[pe] * params.num_pes),
+                           .payload = 1,
+                           .source = static_cast<std::uint16_t>(pe)});
+          ++cursor[pe];
+        }
+      }
+      if (tree.step(true)) ++received;
+    }
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(params.num_pes * per_pe));
+}
+BENCHMARK(BM_HTreeThroughput)->Arg(8)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

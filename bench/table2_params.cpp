@@ -1,0 +1,57 @@
+// Reproduces paper Table II: the microarchitectural parameters of the
+// 64-PE SparseNN, plus the derived quantities the paper states in the
+// surrounding text (8MB total W memory, 4K max activations per layer,
+// 64 GOPs peak at the 2ns clock).
+
+#include <iostream>
+
+#include "arch/cacti_lite.hpp"
+#include "arch/params.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace sparsenn;
+
+  const ArchParams params = ArchParams::paper();
+  params.validate();
+
+  print_section(std::cout,
+                "Table II — microarchitecture parameters, 64-PE SparseNN");
+  Table table({"parameter", "value"});
+  table.add_row({"Quantization scheme",
+                 std::to_string(params.word_bits) + "-bit fixed point"});
+  table.add_row({"On-chip W/U/V memory per PE",
+                 std::to_string(params.w_mem_kb_per_pe) + "KB/" +
+                     std::to_string(params.u_mem_kb_per_pe) + "KB/" +
+                     std::to_string(params.v_mem_kb_per_pe) + "KB"});
+  table.add_row(
+      {"Activation register no. per PE",
+       std::to_string(params.act_regs_per_pe)});
+  table.add_row({"Flow control of NoC router",
+                 std::string{to_string(params.flow_control)}});
+  table.print(std::cout);
+
+  print_section(std::cout, "Derived configuration (Section VI.C text)");
+  Table derived({"quantity", "value", "paper"});
+  derived.add_row({"PEs", Cell{params.num_pes}, "64"});
+  derived.add_row({"Routers (leaf+internal+root)",
+                   std::to_string(params.leaf_routers()) + "+" +
+                       std::to_string(params.internal_routers()) + "+1",
+                   "16+4+1"});
+  derived.add_row({"Total on-chip W memory",
+                   std::to_string(params.total_w_mem_kb() / 1024) + " MB",
+                   "8 MB"});
+  derived.add_row({"Max activations per layer",
+                   Cell{params.max_activations()}, "4K"});
+  derived.add_row({"Clock period", Cell{params.clock_ns, 1}, "2 ns"});
+  derived.add_row({"Peak performance",
+                   Cell{params.peak_gops(), 0}, "64 GOPs"});
+  const auto w_sram = sram_model({.capacity_kb = params.w_mem_kb_per_pe,
+                                  .word_bits = params.word_bits,
+                                  .tech_nm = params.tech_nm});
+  derived.add_row({"128KB SRAM access time (model)",
+                   Cell{w_sram.access_time_ns, 2}, "> 1.7 ns"});
+  derived.print(std::cout);
+  derived.save_csv("table2.csv");
+  return 0;
+}

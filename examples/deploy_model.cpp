@@ -1,0 +1,54 @@
+// Deployment flow: train once, save the model, reload it in a fresh
+// process image, quantise, and run it on the accelerator — the
+// SDK-style separation between training and hardware bring-up.
+//
+//   ./examples/deploy_model [model_path]
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "arch/params.hpp"
+#include "data/dataset.hpp"
+#include "nn/quantized.hpp"
+#include "nn/serialize.hpp"
+#include "nn/trainer.hpp"
+#include "sim/accelerator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sparsenn;
+
+  const std::string path =
+      argc > 1 ? argv[1] : "sparsenn_model.bin";
+
+  // --- Training side ---
+  DatasetOptions data;
+  data.train_size = 1200;
+  data.test_size = 300;
+  const DatasetSplit split = make_dataset(DatasetVariant::kBasic, data);
+
+  TrainOptions train;
+  train.kind = PredictorKind::kEndToEnd;
+  train.rank = 10;
+  train.epochs = 3;
+  std::cout << "Training...\n";
+  const TrainedModel model =
+      train_network(three_layer_topology(256), split, train);
+  std::cout << "TER: " << model.report.final_eval.test_error_rate
+            << "%\nSaving model to " << path << "\n";
+  save_network(model.network, path);
+
+  // --- Deployment side (could be another process) ---
+  std::cout << "Reloading and deploying onto the 64-PE accelerator...\n";
+  const Network loaded = load_network(path);
+  const QuantizedNetwork quantized(loaded, split.train.inputs);
+
+  AcceleratorSim sim(ArchParams::paper());
+  const SimResult run =
+      sim.run(quantized, split.test.image(0), /*use_predictor=*/true);
+  std::cout << "Inference verified bit-exactly in " << run.total_cycles
+            << " cycles across " << run.layers.size() << " layers.\n";
+
+  std::remove(path.c_str());
+  return 0;
+}

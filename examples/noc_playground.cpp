@@ -1,0 +1,83 @@
+// Drives the 3-level H-tree with synthetic sparse traffic and compares
+// the paper's buffered credit flow control against the unbuffered
+// handshake — showing why Section V.B's design keeps the PEs fed one
+// activation per cycle.
+//
+//   ./examples/noc_playground [nonzeros_per_pe]
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "noc/htree.hpp"
+
+namespace {
+
+/// Injects `per_pe` random-indexed flits from every PE and drains the
+/// tree; returns (cycles, stats).
+std::pair<std::uint64_t, sparsenn::NocStats> drive(
+    const sparsenn::ArchParams& params, std::size_t per_pe,
+    std::uint64_t seed) {
+  using namespace sparsenn;
+  Rng rng{seed};
+  UpwardTree tree(params, RouterMode::kArbitrate);
+
+  std::vector<std::vector<Flit>> pending(params.num_pes);
+  for (std::size_t pe = 0; pe < params.num_pes; ++pe) {
+    for (std::size_t k = 0; k < per_pe; ++k) {
+      pending[pe].push_back(Flit{
+          .index = static_cast<std::uint32_t>(pe + k * params.num_pes),
+          .payload = static_cast<std::int64_t>(rng.uniform_index(1000)),
+          .source = static_cast<std::uint16_t>(pe)});
+    }
+  }
+
+  std::uint64_t cycles = 0;
+  std::size_t received = 0;
+  const std::size_t expected = params.num_pes * per_pe;
+  while (received < expected) {
+    ++cycles;
+    for (std::size_t pe = 0; pe < params.num_pes; ++pe) {
+      if (!pending[pe].empty() && tree.can_inject(pe)) {
+        tree.inject(pe, pending[pe].front());
+        pending[pe].erase(pending[pe].begin());
+      }
+    }
+    if (tree.step(/*root_ready=*/true)) ++received;
+  }
+  return {cycles, tree.stats()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sparsenn;
+
+  const std::size_t per_pe =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 16;
+
+  Table table({"flow control", "flits", "cycles", "flits/cycle",
+               "arb conflicts", "credit stalls", "mean leaf occupancy"});
+  for (const FlowControl fc :
+       {FlowControl::kPacketBufferCredit, FlowControl::kUnbuffered}) {
+    ArchParams params;
+    params.flow_control = fc;
+    const auto [cycles, stats] = drive(params, per_pe, 99);
+    const double throughput =
+        static_cast<double>(params.num_pes * per_pe) /
+        static_cast<double>(cycles);
+    table.add_row({std::string{to_string(fc)},
+                   Cell{params.num_pes * per_pe}, Cell{cycles},
+                   Cell{throughput, 3}, Cell{stats.arbitration_conflicts},
+                   Cell{stats.credit_stalls},
+                   Cell{stats.mean_leaf_occupancy, 2}});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nBuffered credit flow control sustains ~1 flit/cycle at "
+               "the root;\nthe unbuffered handshake serialises on the "
+               "round trip, starving the PEs\n(Section V.B).\n";
+  return 0;
+}

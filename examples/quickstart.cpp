@@ -1,0 +1,53 @@
+// Quickstart: the whole SparseNN pipeline in ~60 lines.
+//
+// Trains a small MLP with the end-to-end output-sparsity predictor on
+// the synthetic MNIST-BASIC benchmark, quantises it to the 16-bit
+// deployment image, and runs one inference on the cycle-accurate 64-PE
+// accelerator with the predictor on (uv_on) and off (uv_off ≙ EIE),
+// printing the cycle and power comparison.
+//
+//   ./examples/quickstart
+
+#include <iostream>
+
+#include "core/system.hpp"
+
+int main() {
+  using namespace sparsenn;
+
+  SystemOptions options;
+  options.topology = {784, 256, 10};      // reduced width for speed
+  options.variant = DatasetVariant::kBasic;
+  options.data.train_size = 1500;
+  options.data.test_size = 300;
+  options.train.kind = PredictorKind::kEndToEnd;
+  options.train.rank = 15;
+  options.train.epochs = 3;
+
+  System system(options);
+  std::cout << "Training " << to_string(options.train.kind)
+            << " predictor (rank " << options.train.rank << ") on "
+            << to_string(options.variant) << "...\n";
+  system.prepare();
+
+  const EvalResult& eval = system.train_report().final_eval;
+  std::cout << "Test error rate: " << eval.test_error_rate << "%\n";
+  for (std::size_t l = 0; l < eval.predicted_sparsity.size(); ++l) {
+    std::cout << "Hidden layer " << l + 1
+              << ": predicted output sparsity "
+              << eval.predicted_sparsity[l] << "%\n";
+  }
+
+  std::cout << "\nSimulating one inference on the 64-PE accelerator...\n";
+  const EnergyModel energy = system.energy_model();
+  for (const bool uv_on : {true, false}) {
+    const SimResult run = system.simulate(0, uv_on);
+    const EnergyReport report = energy.report(run.total_events());
+    std::cout << (uv_on ? "uv_on " : "uv_off") << ": "
+              << run.total_cycles << " cycles, " << report.total_uj
+              << " uJ, " << report.avg_power_mw << " mW\n";
+  }
+  std::cout << "\nThe simulator verified every layer bit-exactly against "
+               "the fixed-point golden model.\n";
+  return 0;
+}

@@ -1,0 +1,216 @@
+// sparsenn_cli — command-line front end for the library.
+//
+//   sparsenn_cli train    [--variant v] [--rank r] [--epochs e]
+//                         [--kind none|svd|end_to_end] [--hidden h]
+//                         [--layers 3|5] [--out model.bin]
+//   sparsenn_cli eval     --model model.bin [--variant v]
+//   sparsenn_cli simulate --model model.bin [--variant v] [--samples n]
+//                         [--uv on|off|both] [--trace trace.csv]
+//   sparsenn_cli info     [--model model.bin]
+//
+// `train` produces a serialized model; `eval` reports float and
+// quantised TER; `simulate` deploys it on the cycle-accurate 64-PE
+// model; `info` prints the architecture configuration (and, with a
+// model, its topology).
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "arch/area.hpp"
+#include "common/table.hpp"
+#include "data/dataset.hpp"
+#include "nn/quantized.hpp"
+#include "nn/serialize.hpp"
+#include "nn/trainer.hpp"
+#include "sim/accelerator.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using namespace sparsenn;
+
+/// Minimal --key value argument parser.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) == 0) key = key.substr(2);
+      values_[key] = argv[i + 1];
+    }
+  }
+
+  std::string get(const std::string& key, const std::string& dflt) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? dflt : it->second;
+  }
+  std::size_t get_size(const std::string& key, std::size_t dflt) const {
+    const auto it = values_.find(key);
+    return it == values_.end()
+               ? dflt
+               : static_cast<std::size_t>(std::stoul(it->second));
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+DatasetVariant parse_variant(const std::string& name) {
+  if (name == "rot") return DatasetVariant::kRot;
+  if (name == "bg_rand") return DatasetVariant::kBgRand;
+  return DatasetVariant::kBasic;
+}
+
+PredictorKind parse_kind(const std::string& name) {
+  if (name == "none") return PredictorKind::kNone;
+  if (name == "svd") return PredictorKind::kSvd;
+  return PredictorKind::kEndToEnd;
+}
+
+DatasetSplit make_split(const Args& args) {
+  DatasetOptions data;
+  data.train_size = args.get_size("train-size", 3000);
+  data.test_size = args.get_size("test-size", 600);
+  return make_dataset(parse_variant(args.get("variant", "basic")), data);
+}
+
+int cmd_train(const Args& args) {
+  const DatasetSplit split = make_split(args);
+  TrainOptions train;
+  train.kind = parse_kind(args.get("kind", "end_to_end"));
+  train.rank = args.get_size("rank", 15);
+  train.epochs = args.get_size("epochs", 4);
+
+  const std::size_t hidden = args.get_size("hidden", 512);
+  const auto topology = args.get_size("layers", 3) == 5
+                            ? five_layer_topology(hidden)
+                            : three_layer_topology(hidden);
+
+  std::cout << "Training " << to_string(train.kind) << " rank "
+            << train.rank << " on "
+            << to_string(parse_variant(args.get("variant", "basic")))
+            << "...\n";
+  const TrainedModel model = train_network(topology, split, train);
+  const EvalResult& eval = model.report.final_eval;
+  std::cout << "TER " << eval.test_error_rate << "% in "
+            << model.report.seconds << "s\n";
+  for (std::size_t l = 0; l < eval.predicted_sparsity.size(); ++l)
+    std::cout << "rho(" << l + 1 << ") = " << eval.predicted_sparsity[l]
+              << "%\n";
+
+  const std::string out = args.get("out", "model.bin");
+  save_network(model.network, out);
+  std::cout << "Model written to " << out << "\n";
+  return 0;
+}
+
+int cmd_eval(const Args& args) {
+  const Network net = load_network(args.get("model", "model.bin"));
+  const DatasetSplit split = make_split(args);
+  const EvalResult eval = evaluate(net, split.test);
+  const QuantizedNetwork quantized(net, split.train.inputs);
+  std::cout << "float TER     " << eval.test_error_rate << "%\n"
+            << "quantised TER "
+            << quantized.test_error_rate(split.test.inputs,
+                                         split.test.labels)
+            << "%\n";
+  for (std::size_t l = 0; l < eval.predicted_sparsity.size(); ++l)
+    std::cout << "rho(" << l + 1 << ") = " << eval.predicted_sparsity[l]
+              << "%\n";
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  const Network net = load_network(args.get("model", "model.bin"));
+  const DatasetSplit split = make_split(args);
+  const QuantizedNetwork quantized(net, split.train.inputs);
+
+  AcceleratorSim sim(ArchParams::paper());
+  TraceLog log;
+  const std::string trace_path = args.get("trace", "");
+  if (!trace_path.empty()) sim.set_trace(&log);
+
+  const std::size_t samples =
+      std::min(args.get_size("samples", 3), split.test.size());
+  const std::string uv = args.get("uv", "both");
+  const EnergyModel energy{ArchParams::paper()};
+
+  Table table({"mode", "mean cycles", "mean power(mW)", "mean uJ"});
+  for (const bool on : {true, false}) {
+    if ((on && uv == "off") || (!on && uv == "on")) continue;
+    double cycles = 0.0;
+    double mw = 0.0;
+    double uj = 0.0;
+    for (std::size_t i = 0; i < samples; ++i) {
+      const SimResult run = sim.run(quantized, split.test.image(i), on);
+      const EnergyReport r = energy.report(run.total_events());
+      cycles += static_cast<double>(run.total_cycles);
+      mw += r.avg_power_mw;
+      uj += r.total_uj;
+    }
+    const auto n = static_cast<double>(samples);
+    table.add_row({on ? "uv_on" : "uv_off", Cell{cycles / n, 0},
+                   Cell{mw / n, 1}, Cell{uj / n, 2}});
+  }
+  table.print(std::cout);
+  if (!trace_path.empty()) {
+    log.save_csv(trace_path);
+    std::cout << "Trace written to " << trace_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  const ArchParams params = ArchParams::paper();
+  const AreaBreakdown area = compute_area(params);
+  std::cout << "SparseNN accelerator configuration\n"
+            << "  PEs:              " << params.num_pes << "\n"
+            << "  routers:          " << params.total_routers() << "\n"
+            << "  W/U/V per PE:     " << params.w_mem_kb_per_pe << "/"
+            << params.u_mem_kb_per_pe << "/" << params.v_mem_kb_per_pe
+            << " KB\n"
+            << "  clock:            " << params.clock_ns << " ns\n"
+            << "  peak:             " << params.peak_gops() << " GOPs\n"
+            << "  die area:         " << area.total_mm2() << " mm^2\n";
+  const std::string model = args.get("model", "");
+  if (!model.empty()) {
+    const Network net = load_network(model);
+    std::cout << "Model " << model << ": topology";
+    for (std::size_t s : net.layer_sizes()) std::cout << " " << s;
+    std::cout << ", " << net.parameter_count() << " parameters\n";
+    for (std::size_t l = 0; l < net.num_hidden_layers(); ++l) {
+      if (net.has_predictor(l))
+        std::cout << "  layer " << l + 1 << ": predictor rank "
+                  << net.predictor(l).rank() << " (overhead "
+                  << 100.0 * net.predictor(l).relative_cost() << "%)\n";
+    }
+  }
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: sparsenn_cli {train|eval|simulate|info} "
+               "[--key value ...]\n"
+               "see the header of examples/sparsenn_cli.cpp\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  try {
+    if (command == "train") return cmd_train(args);
+    if (command == "eval") return cmd_eval(args);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "info") return cmd_info(args);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

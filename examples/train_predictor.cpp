@@ -1,0 +1,68 @@
+// Trains the output-sparsity predictor with all three algorithms the
+// paper compares (NO-UV, truncated SVD, end-to-end) on a chosen
+// benchmark variant and prints TER and per-layer predicted sparsity —
+// the workflow behind the paper's Table I.
+//
+//   ./examples/train_predictor [basic|rot|bg_rand] [rank] [epochs]
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "data/dataset.hpp"
+#include "nn/trainer.hpp"
+
+namespace {
+
+sparsenn::DatasetVariant parse_variant(const std::string& name) {
+  if (name == "rot") return sparsenn::DatasetVariant::kRot;
+  if (name == "bg_rand") return sparsenn::DatasetVariant::kBgRand;
+  return sparsenn::DatasetVariant::kBasic;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sparsenn;
+
+  const DatasetVariant variant =
+      parse_variant(argc > 1 ? argv[1] : "basic");
+  const std::size_t rank =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 15;
+  const std::size_t epochs =
+      argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 4;
+
+  DatasetOptions data;
+  data.train_size = 3000;
+  data.test_size = 600;
+  const DatasetSplit split = make_dataset(variant, data);
+  std::cout << "Dataset " << to_string(variant) << ": "
+            << split.train.size() << " train / " << split.test.size()
+            << " test, input sparsity "
+            << 100.0 * split.train.input_sparsity() << "%\n\n";
+
+  const auto topology = three_layer_topology(512);
+
+  Table table({"algorithm", "TER(%)", "rho(1)(%)", "train_s"});
+  for (const PredictorKind kind :
+       {PredictorKind::kNone, PredictorKind::kSvd,
+        PredictorKind::kEndToEnd}) {
+    TrainOptions train;
+    train.kind = kind;
+    train.rank = rank;
+    train.epochs = epochs;
+    const TrainedModel model = train_network(topology, split, train);
+    const EvalResult& eval = model.report.final_eval;
+    const double rho = kind == PredictorKind::kNone
+                           ? 0.0
+                           : eval.predicted_sparsity.front();
+    table.add_row({std::string{to_string(kind)},
+                   Cell{eval.test_error_rate, 2},
+                   kind == PredictorKind::kNone ? Cell{"N.A."}
+                                                : Cell{rho, 2},
+                   Cell{model.report.seconds, 1}});
+  }
+  table.print(std::cout);
+  return 0;
+}

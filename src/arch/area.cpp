@@ -1,0 +1,62 @@
+#include "arch/area.hpp"
+
+namespace sparsenn {
+
+AreaBreakdown compute_area(const ArchParams& params,
+                           const LogicAreaModel& logic) {
+  params.validate();
+  const double tech = static_cast<double>(params.tech_nm) / 65.0;
+  const double logic_scale = tech * tech;
+
+  // --- Memory macros per PE ---
+  const auto mem = [&](std::size_t kb) {
+    return sram_model({.capacity_kb = kb,
+                       .word_bits = params.word_bits,
+                       .tech_nm = params.tech_nm})
+        .area_um2;
+  };
+  const double macro_per_pe = mem(params.w_mem_kb_per_pe) +
+                              mem(params.u_mem_kb_per_pe) +
+                              mem(params.v_mem_kb_per_pe);
+
+  // --- PE logic ---
+  const double pe_comb =
+      (logic.mac_datapath + logic.mem_addr_comp + logic.lnzd +
+       logic.controller) *
+      logic_scale;
+  const double pe_regs =
+      (logic.pipeline_regs +
+       logic.act_queue_per_entry *
+           static_cast<double>(params.act_queue_depth) +
+       logic.act_reg_per_word * 2.0 *  // ping-pong pair
+           static_cast<double>(params.act_regs_per_pe) +
+       logic.predictor_bank_per_bit *
+           static_cast<double>(params.act_regs_per_pe)) *
+      logic_scale;
+  const double per_pe = macro_per_pe + pe_comb + pe_regs;
+
+  // --- Router logic (buffers are registers => non-combinational) ---
+  const double router_comb =
+      (logic.router_arbiter + logic.router_acc) * logic_scale;
+  const double router_regs =
+      logic.router_buffer_per_flit *
+      static_cast<double>(params.router_buffer_depth) *
+      static_cast<double>(params.router_radix) * logic_scale;
+  const double per_router = router_comb + router_regs;
+
+  const auto pes = static_cast<double>(params.num_pes);
+  const auto routers = static_cast<double>(params.total_routers());
+
+  AreaBreakdown out;
+  out.macro_memory = macro_per_pe * pes;
+  out.combinational = pe_comb * pes + router_comb * routers;
+  out.non_combinational = pe_regs * pes + router_regs * routers;
+  out.buf_inv = out.combinational * logic.buf_inv_fraction;
+  out.per_pe = per_pe;
+  out.processing_elements = per_pe * pes;
+  out.routing_logic = per_router * routers;
+  out.total = out.processing_elements + out.routing_logic;
+  return out;
+}
+
+}  // namespace sparsenn

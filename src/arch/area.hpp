@@ -1,0 +1,56 @@
+#pragma once
+// Post-synthesis area model reproducing the breakdown of paper
+// Table III: total, combinational, buffer/inverter, non-combinational
+// (registers), memory macros, and the PE vs routing-logic split.
+//
+// Logic areas are per-block constants at 65nm (calibrated against the
+// paper's synthesis results) scaled by feature size squared for other
+// nodes; macro area comes from cacti_lite.
+
+#include "arch/cacti_lite.hpp"
+#include "arch/params.hpp"
+
+namespace sparsenn {
+
+/// Area in µm² for each Table III row, plus finer per-block detail.
+struct AreaBreakdown {
+  double total = 0.0;
+  double combinational = 0.0;
+  double buf_inv = 0.0;
+  double non_combinational = 0.0;
+  double macro_memory = 0.0;
+  double processing_elements = 0.0;  ///< all PEs together
+  double per_pe = 0.0;
+  double routing_logic = 0.0;        ///< all routers together
+
+  double routing_percent() const noexcept {
+    return total > 0.0 ? 100.0 * routing_logic / total : 0.0;
+  }
+  double macro_percent() const noexcept {
+    return total > 0.0 ? 100.0 * macro_memory / total : 0.0;
+  }
+  double total_mm2() const noexcept { return total / 1e6; }
+};
+
+/// Per-block logic areas (µm², 65nm) — exposed so tests can check the
+/// composition and ablations can tweak individual blocks.
+struct LogicAreaModel {
+  double mac_datapath = 9500.0;      ///< 16x16 multiplier + 32b adder
+  double mem_addr_comp = 3200.0;
+  double lnzd = 2600.0;              ///< both detectors
+  double controller = 8600.0;
+  double act_queue_per_entry = 280.0;
+  double act_reg_per_word = 160.0;   ///< ping-pong register file, per word
+  double predictor_bank_per_bit = 6.0;
+  double pipeline_regs = 3000.0;     ///< 5-stage datapath registers
+  double router_arbiter = 3600.0;    ///< 4:1 index-ordered arbitration
+  double router_acc = 5200.0;        ///< reduction adder in ST stage
+  double router_buffer_per_flit = 1200.0;  ///< 48-bit flit register + ctl
+  double buf_inv_fraction = 0.116;   ///< share of comb. area that is buf/inv
+};
+
+/// Evaluates the full chip area for `params`.
+AreaBreakdown compute_area(const ArchParams& params,
+                           const LogicAreaModel& logic = {});
+
+}  // namespace sparsenn

@@ -1,0 +1,54 @@
+#pragma once
+// Lightweight contract checking, Core Guidelines style (I.6/E.12):
+// precondition violations throw std::invalid_argument, internal invariant
+// violations throw std::logic_error. Both carry the failing expression and
+// source location so failures are actionable without a debugger.
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace sparsenn {
+
+/// Thrown when an internal invariant is violated. Catching this is almost
+/// always a bug; it exists so tests can assert on invariant enforcement.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise_expects(
+    const char* what, const std::source_location& loc) {
+  throw std::invalid_argument(
+      std::string("precondition failed: ") + what + " at " +
+      loc.file_name() + ":" + std::to_string(loc.line()));
+}
+
+[[noreturn]] inline void raise_ensures(
+    const char* what, const std::source_location& loc) {
+  throw InvariantError(
+      std::string("invariant failed: ") + what + " at " +
+      loc.file_name() + ":" + std::to_string(loc.line()));
+}
+
+}  // namespace detail
+
+/// Precondition check: call at function entry to validate caller-supplied
+/// arguments. Throws std::invalid_argument on failure.
+inline void expects(
+    bool cond, const char* what = "expects",
+    const std::source_location loc = std::source_location::current()) {
+  if (!cond) detail::raise_expects(what, loc);
+}
+
+/// Invariant/postcondition check: validates internal state that should be
+/// impossible to violate from outside. Throws InvariantError on failure.
+inline void ensures(
+    bool cond, const char* what = "ensures",
+    const std::source_location loc = std::source_location::current()) {
+  if (!cond) detail::raise_ensures(what, loc);
+}
+
+}  // namespace sparsenn

@@ -1,0 +1,74 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace sparsenn {
+
+void Config::set(const std::string& key, std::string value) {
+  values_[key] = std::move(value);
+}
+
+std::string Config::env_name(const std::string& key) {
+  std::string name = "SPARSENN_";
+  for (char ch : key) {
+    name += ch == '.' ? '_'
+                      : static_cast<char>(
+                            std::toupper(static_cast<unsigned char>(ch)));
+  }
+  return name;
+}
+
+std::optional<std::string> Config::raw(const std::string& key) const {
+  if (const auto it = values_.find(key); it != values_.end())
+    return it->second;
+  if (const char* env = std::getenv(env_name(key).c_str()))
+    return std::string{env};
+  return std::nullopt;
+}
+
+std::string Config::get(const std::string& key,
+                        const std::string& fallback) const {
+  return raw(key).value_or(fallback);
+}
+
+std::int64_t Config::get_int(const std::string& key,
+                             std::int64_t fallback) const {
+  const auto v = raw(key);
+  if (!v) return fallback;
+  try {
+    return std::stoll(*v);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto v = raw(key);
+  if (!v) return fallback;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto v = raw(key);
+  if (!v) return fallback;
+  std::string s = *v;
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char ch) {
+    return static_cast<char>(std::tolower(ch));
+  });
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  return fallback;
+}
+
+bool full_scale_requested() {
+  return Config{}.get_bool("full", false);
+}
+
+}  // namespace sparsenn

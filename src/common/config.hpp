@@ -1,0 +1,41 @@
+#pragma once
+// Tiny string-keyed configuration with environment-variable overrides.
+// Benches use this so the same binary can run the reduced (CI/laptop)
+// or the full paper-scale experiment: e.g. SPARSENN_FULL=1.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace sparsenn {
+
+/// Immutable-after-build key/value config. Lookup order: explicit value,
+/// then environment (key upper-cased, '.' -> '_', "SPARSENN_" prefix),
+/// then the caller-provided default.
+class Config {
+ public:
+  Config() = default;
+
+  void set(const std::string& key, std::string value);
+
+  std::optional<std::string> raw(const std::string& key) const;
+
+  std::string get(const std::string& key,
+                  const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// The environment variable name a key maps to (exposed for docs/tests).
+  static std::string env_name(const std::string& key);
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// True when SPARSENN_FULL is set truthy: benches then run the full
+/// paper-scale configuration instead of the reduced default.
+bool full_scale_requested();
+
+}  // namespace sparsenn

@@ -1,0 +1,41 @@
+#include "common/logging.hpp"
+
+#include <cstdlib>
+
+namespace sparsenn {
+namespace {
+
+LogLevel initial_level() {
+  if (const char* env = std::getenv("SPARSENN_LOG")) {
+    const std::string_view v{env};
+    if (v == "trace") return LogLevel::kTrace;
+    if (v == "debug") return LogLevel::kDebug;
+    if (v == "info") return LogLevel::kInfo;
+    if (v == "warn") return LogLevel::kWarn;
+    if (v == "error") return LogLevel::kError;
+  }
+  return LogLevel::kWarn;
+}
+
+constexpr std::string_view tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+LogLevel Logger::level_ = initial_level();
+
+void Logger::write(LogLevel level, std::string_view where,
+                   std::string_view message) {
+  std::ostream& out = level >= LogLevel::kWarn ? std::cerr : std::clog;
+  out << '[' << tag(level) << "] [" << where << "] " << message << '\n';
+}
+
+}  // namespace sparsenn

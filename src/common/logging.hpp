@@ -1,0 +1,77 @@
+#pragma once
+// Minimal leveled logger. The simulator can emit very chatty traces, so
+// the level check is a cheap inline branch and message formatting only
+// happens when the message will actually be printed.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace sparsenn {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+/// Process-wide log configuration.
+class Logger {
+ public:
+  static LogLevel level() noexcept { return level_; }
+  static void set_level(LogLevel level) noexcept { level_ = level; }
+  static bool enabled(LogLevel level) noexcept { return level >= level_; }
+
+  /// Emits one line with a level tag. `where` is a short subsystem tag
+  /// (e.g. "noc", "pe17", "train").
+  static void write(LogLevel level, std::string_view where,
+                    std::string_view message);
+
+ private:
+  static LogLevel level_;
+};
+
+namespace detail {
+
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+
+}  // namespace detail
+
+template <typename... Args>
+void log_trace(std::string_view where, Args&&... args) {
+  if (Logger::enabled(LogLevel::kTrace))
+    Logger::write(LogLevel::kTrace, where,
+                  detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_debug(std::string_view where, Args&&... args) {
+  if (Logger::enabled(LogLevel::kDebug))
+    Logger::write(LogLevel::kDebug, where,
+                  detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_info(std::string_view where, Args&&... args) {
+  if (Logger::enabled(LogLevel::kInfo))
+    Logger::write(LogLevel::kInfo, where,
+                  detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(std::string_view where, Args&&... args) {
+  if (Logger::enabled(LogLevel::kWarn))
+    Logger::write(LogLevel::kWarn, where,
+                  detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_error(std::string_view where, Args&&... args) {
+  if (Logger::enabled(LogLevel::kError))
+    Logger::write(LogLevel::kError, where,
+                  detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace sparsenn

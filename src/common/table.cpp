@@ -1,0 +1,98 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace sparsenn {
+
+std::string Cell::str() const {
+  if (const auto* s = std::get_if<std::string>(&value_)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&value_))
+    return std::to_string(*i);
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision_)
+     << std::get<double>(value_);
+  return os.str();
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  expects(!header_.empty(), "table needs at least one column");
+}
+
+Table& Table::add_row(std::vector<Cell> cells) {
+  expects(cells.size() == header_.size(), "row width must match header");
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (const Cell& c : cells) row.push_back(c.str());
+  rows_.push_back(std::move(row));
+  return *this;
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(width[c]) + 2)
+          << row[c];
+    }
+    out << '\n';
+  };
+
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+namespace {
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Table::write_csv(std::ostream& out) const {
+  const auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << ',';
+      out << csv_escape(row[c]);
+    }
+    out << '\n';
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+void Table::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  ensures(out.good(), "failed to open CSV output file");
+  write_csv(out);
+}
+
+void print_section(std::ostream& out, const std::string& title) {
+  out << '\n' << std::string(72, '=') << '\n'
+      << title << '\n'
+      << std::string(72, '=') << '\n';
+}
+
+}  // namespace sparsenn

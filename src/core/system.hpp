@@ -1,0 +1,94 @@
+#pragma once
+// sparsenn::System — the public facade of the library.
+//
+// One System value carries a full end-to-end reproduction pipeline:
+//
+//   1. build (or load) a benchmark dataset variant,
+//   2. train an MLP with the chosen sparsity-predictor regime
+//      (NO-UV / truncated SVD / the paper's end-to-end Alg. 1),
+//   3. quantise it to the 16-bit deployment image,
+//   4. run inferences on the cycle-accurate 64-PE accelerator model,
+//      with the predictor enabled (uv_on) or disabled (uv_off ≙ EIE),
+//   5. report per-layer cycles, energy and power.
+//
+// Examples and benches are thin wrappers over this type.
+
+#include <optional>
+
+#include "arch/area.hpp"
+#include "arch/energy.hpp"
+#include "arch/params.hpp"
+#include "data/dataset.hpp"
+#include "nn/quantized.hpp"
+#include "nn/trainer.hpp"
+#include "sim/accelerator.hpp"
+
+namespace sparsenn {
+
+/// Everything a reproduction run needs.
+struct SystemOptions {
+  std::vector<std::size_t> topology = {784, 1000, 10};
+  DatasetVariant variant = DatasetVariant::kBasic;
+  DatasetOptions data{};
+  TrainOptions train{};
+  ArchParams arch = ArchParams::paper();
+};
+
+/// Mean per-layer hardware cost over a set of inferences.
+struct LayerHardwareCost {
+  double mean_cycles = 0.0;
+  double mean_v_cycles = 0.0;
+  double mean_u_cycles = 0.0;
+  double mean_w_cycles = 0.0;
+  double mean_power_mw = 0.0;
+  double mean_energy_uj = 0.0;
+  double mean_nnz_inputs = 0.0;
+  double mean_active_rows = 0.0;
+};
+
+/// Side-by-side uv_on / uv_off measurement (the paper's Fig. 7 data).
+struct HardwareComparison {
+  std::vector<LayerHardwareCost> uv_on;   ///< hidden layers only
+  std::vector<LayerHardwareCost> uv_off;
+  std::size_t samples = 0;
+};
+
+class System {
+ public:
+  explicit System(SystemOptions options);
+
+  /// Runs dataset generation + training + quantisation. Idempotent.
+  void prepare();
+  bool prepared() const noexcept { return quantized_.has_value(); }
+
+  const DatasetSplit& dataset() const;
+  const Network& network() const;
+  const TrainReport& train_report() const;
+  const QuantizedNetwork& quantized() const;
+  const SystemOptions& options() const noexcept { return options_; }
+
+  /// Cycle-accurate inference of one test sample.
+  SimResult simulate(std::size_t test_index, bool use_predictor);
+
+  /// Measures mean per-hidden-layer cycles and power with the predictor
+  /// on and off over the first `samples` test images (Fig. 7).
+  HardwareComparison compare_hardware(std::size_t samples);
+
+  /// Area/energy models for the configured architecture.
+  AreaBreakdown area() const;
+  EnergyModel energy_model() const;
+
+  /// Deploy-time prediction threshold θ (see
+  /// QuantizedLayer::prediction_threshold): rows compute only when
+  /// U V a > θ. Affects subsequent simulate()/compare_hardware() calls.
+  void set_prediction_threshold(double threshold);
+
+ private:
+  SystemOptions options_;
+  std::optional<DatasetSplit> split_;
+  std::optional<TrainedModel> model_;
+  std::optional<QuantizedNetwork> quantized_;
+  std::optional<AcceleratorSim> sim_;
+};
+
+}  // namespace sparsenn

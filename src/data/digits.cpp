@@ -1,0 +1,184 @@
+#include "data/digits.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace sparsenn {
+namespace {
+
+// Skeletons live in a unit box with (0,0) top-left, (1,1) bottom-right.
+// Arcs are tessellated into short polylines at construction.
+
+Stroke arc(float cx, float cy, float rx, float ry, float a0, float a1,
+           int segments = 24) {
+  Stroke s;
+  s.reserve(static_cast<std::size_t>(segments) + 1);
+  for (int i = 0; i <= segments; ++i) {
+    const float t = a0 + (a1 - a0) * static_cast<float>(i) /
+                             static_cast<float>(segments);
+    s.push_back({cx + rx * std::cos(t), cy + ry * std::sin(t)});
+  }
+  return s;
+}
+
+Stroke line(float x0, float y0, float x1, float y1) {
+  return Stroke{{x0, y0}, {x1, y1}};
+}
+
+constexpr float kPi = std::numbers::pi_v<float>;
+
+std::vector<std::vector<Stroke>> build_skeletons() {
+  std::vector<std::vector<Stroke>> all(kNumClasses);
+  // 0: ellipse
+  all[0] = {arc(0.5f, 0.5f, 0.30f, 0.42f, 0.0f, 2.0f * kPi, 40)};
+  // 1: vertical bar with a small flag
+  all[1] = {line(0.52f, 0.08f, 0.52f, 0.92f),
+            line(0.52f, 0.08f, 0.38f, 0.24f)};
+  // 2: top arc, diagonal, bottom bar
+  all[2] = {arc(0.5f, 0.30f, 0.26f, 0.22f, -kPi, 0.15f * kPi, 24),
+            line(0.72f, 0.40f, 0.24f, 0.88f),
+            line(0.24f, 0.88f, 0.78f, 0.88f)};
+  // 3: two right-open arcs
+  all[3] = {arc(0.46f, 0.30f, 0.26f, 0.21f, -0.9f * kPi, 0.45f * kPi, 24),
+            arc(0.46f, 0.70f, 0.28f, 0.22f, -0.45f * kPi, 0.9f * kPi, 24)};
+  // 4: two strokes and a crossbar
+  all[4] = {line(0.62f, 0.08f, 0.62f, 0.92f),
+            line(0.62f, 0.08f, 0.26f, 0.60f),
+            line(0.26f, 0.60f, 0.82f, 0.60f)};
+  // 5: top bar, descender, bottom bowl
+  all[5] = {line(0.74f, 0.10f, 0.32f, 0.10f),
+            line(0.32f, 0.10f, 0.30f, 0.48f),
+            arc(0.48f, 0.68f, 0.26f, 0.24f, -0.65f * kPi, 0.8f * kPi, 28)};
+  // 6: tall curve closing into a lower loop
+  all[6] = {arc(0.58f, 0.30f, 0.30f, 0.26f, -0.95f * kPi, -0.35f * kPi, 20),
+            line(0.31f, 0.38f, 0.28f, 0.66f),
+            arc(0.50f, 0.70f, 0.23f, 0.21f, 0.0f, 2.0f * kPi, 32)};
+  // 7: top bar and diagonal
+  all[7] = {line(0.22f, 0.12f, 0.80f, 0.12f),
+            line(0.80f, 0.12f, 0.40f, 0.92f)};
+  // 8: stacked loops
+  all[8] = {arc(0.5f, 0.30f, 0.22f, 0.20f, 0.0f, 2.0f * kPi, 32),
+            arc(0.5f, 0.70f, 0.26f, 0.22f, 0.0f, 2.0f * kPi, 32)};
+  // 9: upper loop with tail
+  all[9] = {arc(0.5f, 0.32f, 0.24f, 0.22f, 0.0f, 2.0f * kPi, 32),
+            line(0.73f, 0.36f, 0.64f, 0.92f)};
+  return all;
+}
+
+const std::vector<std::vector<Stroke>>& skeletons() {
+  static const std::vector<std::vector<Stroke>> all = build_skeletons();
+  return all;
+}
+
+struct Affine {
+  // [x'] = [a b][x] + [tx]
+  // [y']   [c d][y]   [ty]
+  float a, b, c, d, tx, ty;
+
+  std::array<float, 2> apply(std::array<float, 2> p) const noexcept {
+    return {a * p[0] + b * p[1] + tx, c * p[0] + d * p[1] + ty};
+  }
+};
+
+Affine jitter_to_affine(const GlyphJitter& j) {
+  const float cs = std::cos(j.rotate);
+  const float sn = std::sin(j.rotate);
+  // Rotation * shear(slant) * scale, about the glyph centre (0.5, 0.5),
+  // then shift. Work in pixel units (28x28 with a 3px margin).
+  const float span = static_cast<float>(kImageSide) - 6.0f;
+  const float s = j.scale * span;
+  Affine m{};
+  // scale then shear: x' = s*(x + slant*y), y' = s*y; then rotate.
+  m.a = cs * s - sn * 0.0f;
+  m.b = cs * s * j.slant - sn * s;
+  m.c = sn * s + cs * 0.0f;
+  m.d = sn * s * j.slant + cs * s;
+  const float cx = static_cast<float>(kImageSide) / 2.0f + j.dx;
+  const float cy = static_cast<float>(kImageSide) / 2.0f + j.dy;
+  // Centre the unit box (0.5, 0.5) at (cx, cy).
+  m.tx = cx - (m.a * 0.5f + m.b * 0.5f);
+  m.ty = cy - (m.c * 0.5f + m.d * 0.5f);
+  return m;
+}
+
+/// Anti-aliased thick line via signed distance to the segment.
+void draw_segment(std::span<float> img, std::array<float, 2> p0,
+                  std::array<float, 2> p1, float half_width) {
+  const float minx = std::min(p0[0], p1[0]) - half_width - 1.0f;
+  const float maxx = std::max(p0[0], p1[0]) + half_width + 1.0f;
+  const float miny = std::min(p0[1], p1[1]) - half_width - 1.0f;
+  const float maxy = std::max(p0[1], p1[1]) + half_width + 1.0f;
+  const int x0 = std::max(0, static_cast<int>(std::floor(minx)));
+  const int x1 = std::min(static_cast<int>(kImageSide) - 1,
+                          static_cast<int>(std::ceil(maxx)));
+  const int y0 = std::max(0, static_cast<int>(std::floor(miny)));
+  const int y1 = std::min(static_cast<int>(kImageSide) - 1,
+                          static_cast<int>(std::ceil(maxy)));
+
+  const float vx = p1[0] - p0[0];
+  const float vy = p1[1] - p0[1];
+  const float len2 = vx * vx + vy * vy;
+
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      const float px = static_cast<float>(x) + 0.5f - p0[0];
+      const float py = static_cast<float>(y) + 0.5f - p0[1];
+      float t = len2 > 1e-12f ? (px * vx + py * vy) / len2 : 0.0f;
+      t = std::clamp(t, 0.0f, 1.0f);
+      const float ex = px - t * vx;
+      const float ey = py - t * vy;
+      const float dist = std::sqrt(ex * ex + ey * ey);
+      // 1 inside the pen, smooth 1-pixel falloff at the edge.
+      const float cover = std::clamp(half_width + 0.5f - dist, 0.0f, 1.0f);
+      if (cover > 0.0f) {
+        float& px_ref = img[static_cast<std::size_t>(y) * kImageSide +
+                            static_cast<std::size_t>(x)];
+        px_ref = std::max(px_ref, cover);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+GlyphJitter GlyphJitter::random(Rng& rng) {
+  GlyphJitter j;
+  j.dx = static_cast<float>(rng.uniform(-1.8, 1.8));
+  j.dy = static_cast<float>(rng.uniform(-1.8, 1.8));
+  j.scale = static_cast<float>(rng.uniform(0.82, 1.05));
+  j.slant = static_cast<float>(rng.uniform(-0.18, 0.18));
+  j.rotate = static_cast<float>(rng.uniform(-0.12, 0.12));
+  j.stroke_width = static_cast<float>(rng.uniform(1.2, 2.1));
+  return j;
+}
+
+const std::vector<Stroke>& digit_skeleton(int label) {
+  expects(label >= 0 && label < static_cast<int>(kNumClasses),
+          "digit label out of range");
+  return skeletons()[static_cast<std::size_t>(label)];
+}
+
+void render_digit(int label, const GlyphJitter& jitter,
+                  std::span<float> out) {
+  expects(out.size() == kImagePixels, "output buffer must be 28x28");
+  std::fill(out.begin(), out.end(), 0.0f);
+  const Affine m = jitter_to_affine(jitter);
+  const float half_width = jitter.stroke_width * 0.5f;
+  for (const Stroke& stroke : digit_skeleton(label)) {
+    for (std::size_t i = 0; i + 1 < stroke.size(); ++i) {
+      draw_segment(out, m.apply(stroke[i]), m.apply(stroke[i + 1]),
+                   half_width);
+    }
+  }
+}
+
+Vector make_digit(int label, Rng& rng) {
+  Vector img(kImagePixels, 0.0f);
+  render_digit(label, GlyphJitter::random(rng), img);
+  return img;
+}
+
+}  // namespace sparsenn

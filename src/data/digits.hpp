@@ -1,0 +1,56 @@
+#pragma once
+// Procedural hand-written-digit rasteriser.
+//
+// The paper evaluates on MNIST-BASIC and the Larochelle et al. (2007)
+// variants, which are not redistributable and unavailable offline. This
+// module synthesises a drop-in replacement: each digit class is defined
+// as a stroke skeleton (polylines and arcs in a unit box) rendered with
+// an anti-aliased pen of randomised width, then distorted by a random
+// affine jitter (shift/scale/shear/slant) per sample, mimicking
+// handwriting variability. The resulting task has the same structure the
+// predictor/accelerator experiments depend on: 28x28 grayscale inputs,
+// 10 classes, high input sparsity (~80% background), and the three
+// variation regimes of the original benchmark (see variations.hpp).
+//
+// If real IDX files are available, mnist_io.hpp loads them instead.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace sparsenn {
+
+constexpr std::size_t kImageSide = 28;
+constexpr std::size_t kImagePixels = kImageSide * kImageSide;
+constexpr std::size_t kNumClasses = 10;
+
+/// Per-sample handwriting jitter parameters.
+struct GlyphJitter {
+  float dx = 0.0f;          ///< horizontal shift, pixels
+  float dy = 0.0f;          ///< vertical shift, pixels
+  float scale = 1.0f;       ///< isotropic scale
+  float slant = 0.0f;       ///< x-shear proportional to y
+  float rotate = 0.0f;      ///< radians, small "natural" tilt
+  float stroke_width = 1.6f;
+
+  /// Draws plausible handwriting jitter from the generator.
+  static GlyphJitter random(Rng& rng);
+};
+
+/// Renders digit `label` (0-9) into a 28x28 grayscale image in [0, 1].
+/// The image is written row-major into `out` (size kImagePixels).
+void render_digit(int label, const GlyphJitter& jitter,
+                  std::span<float> out);
+
+/// Convenience: returns a fresh image vector.
+Vector make_digit(int label, Rng& rng);
+
+/// The stroke skeleton of a class, exposed for tests (each stroke is a
+/// polyline of unit-box points, already including arc tessellation).
+using Stroke = std::vector<std::array<float, 2>>;
+const std::vector<Stroke>& digit_skeleton(int label);
+
+}  // namespace sparsenn

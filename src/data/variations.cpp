@@ -1,0 +1,67 @@
+#include "data/variations.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+#include "data/digits.hpp"
+
+namespace sparsenn {
+
+Vector rotate_image(std::span<const float> image, float radians) {
+  expects(image.size() == kImagePixels, "rotate_image needs a 28x28 image");
+  Vector out(kImagePixels, 0.0f);
+  const float c = std::cos(radians);
+  const float s = std::sin(radians);
+  const float centre = (static_cast<float>(kImageSide) - 1.0f) / 2.0f;
+  const auto n = static_cast<int>(kImageSide);
+
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      // Inverse-map the destination pixel into the source image.
+      const float dx = static_cast<float>(x) - centre;
+      const float dy = static_cast<float>(y) - centre;
+      const float sx = c * dx + s * dy + centre;
+      const float sy = -s * dx + c * dy + centre;
+      const int x0 = static_cast<int>(std::floor(sx));
+      const int y0 = static_cast<int>(std::floor(sy));
+      const float fx = sx - static_cast<float>(x0);
+      const float fy = sy - static_cast<float>(y0);
+
+      const auto sample = [&](int xi, int yi) -> float {
+        if (xi < 0 || yi < 0 || xi >= n || yi >= n) return 0.0f;
+        return image[static_cast<std::size_t>(yi) * kImageSide +
+                     static_cast<std::size_t>(xi)];
+      };
+      const float v =
+          sample(x0, y0) * (1.0f - fx) * (1.0f - fy) +
+          sample(x0 + 1, y0) * fx * (1.0f - fy) +
+          sample(x0, y0 + 1) * (1.0f - fx) * fy +
+          sample(x0 + 1, y0 + 1) * fx * fy;
+      out[static_cast<std::size_t>(y) * kImageSide +
+          static_cast<std::size_t>(x)] = v;
+    }
+  }
+  return out;
+}
+
+Vector add_random_background(std::span<const float> image, Rng& rng,
+                             float amplitude) {
+  expects(image.size() == kImagePixels,
+          "add_random_background needs a 28x28 image");
+  Vector out(image.begin(), image.end());
+  for (float& px : out) {
+    const auto noise =
+        static_cast<float>(rng.uniform(0.0, double{amplitude}));
+    px = std::max(px, noise);
+  }
+  return out;
+}
+
+float random_rotation_angle(Rng& rng) {
+  return static_cast<float>(
+      rng.uniform(0.0, 2.0 * std::numbers::pi));
+}
+
+}  // namespace sparsenn

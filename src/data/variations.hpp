@@ -1,0 +1,27 @@
+#pragma once
+// The Larochelle et al. (2007) perturbations applied to base digit
+// images: rotation by a uniform random angle (ROT) and superimposition
+// of uniform random background noise (BG-RAND).
+
+#include <span>
+
+#include "common/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace sparsenn {
+
+/// Rotates a 28x28 image about its centre by `radians` using bilinear
+/// resampling; pixels sampled outside the source are background (0).
+Vector rotate_image(std::span<const float> image, float radians);
+
+/// Superimposes uniform random noise on the background:
+/// out = max(digit, noise) per pixel where noise ~ U[0, amplitude].
+/// This destroys the input sparsity exactly as mnist-back-rand does.
+Vector add_random_background(std::span<const float> image, Rng& rng,
+                             float amplitude = 1.0f);
+
+/// ROT draws its angle uniformly from [0, 2π) as in the original
+/// benchmark generation (which is what makes ROT the hardest variant).
+float random_rotation_angle(Rng& rng);
+
+}  // namespace sparsenn

@@ -1,0 +1,94 @@
+#include "nn/metrics.hpp"
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+#include "nn/loss.hpp"
+#include "tensor/ops.hpp"
+
+namespace sparsenn {
+
+EvalResult evaluate(const Network& network, const Dataset& dataset) {
+  expects(dataset.size() > 0, "cannot evaluate on an empty dataset");
+  const std::size_t hidden = network.num_hidden_layers();
+
+  EvalResult out;
+  out.predicted_sparsity.assign(hidden, 0.0);
+  out.actual_sparsity.assign(hidden, 0.0);
+  out.effective_sparsity.assign(hidden, 0.0);
+
+  std::vector<RunningStats> predicted(hidden);
+  std::vector<RunningStats> actual(hidden);
+  std::vector<RunningStats> effective(hidden);
+  std::size_t errors = 0;
+  double loss = 0.0;
+
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const ForwardTrace trace = network.forward(dataset.image(i));
+    const Vector& logits = trace.output();
+    if (argmax(logits) != static_cast<std::size_t>(dataset.labels[i]))
+      ++errors;
+    loss += cross_entropy_loss(logits, dataset.labels[i]);
+
+    for (std::size_t l = 0; l < hidden; ++l) {
+      actual[l].add(sparsity_fraction(trace.unmasked[l]));
+      effective[l].add(sparsity_fraction(trace.activations[l + 1]));
+      if (!trace.masks[l].empty()) {
+        // Mask stores 1 for "compute"; predicted sparsity is the zeros.
+        predicted[l].add(sparsity_fraction(trace.masks[l]));
+      }
+    }
+  }
+
+  const auto n = static_cast<double>(dataset.size());
+  out.test_error_rate = 100.0 * static_cast<double>(errors) / n;
+  out.mean_loss = loss / n;
+  for (std::size_t l = 0; l < hidden; ++l) {
+    out.predicted_sparsity[l] = 100.0 * predicted[l].mean();
+    out.actual_sparsity[l] = 100.0 * actual[l].mean();
+    out.effective_sparsity[l] = 100.0 * effective[l].mean();
+  }
+  return out;
+}
+
+double test_error_rate(const Network& network, const Dataset& dataset) {
+  expects(dataset.size() > 0, "cannot evaluate on an empty dataset");
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const Vector logits = network.infer(dataset.image(i));
+    if (argmax(logits) != static_cast<std::size_t>(dataset.labels[i]))
+      ++errors;
+  }
+  return 100.0 * static_cast<double>(errors) /
+         static_cast<double>(dataset.size());
+}
+
+MaskAgreement mask_agreement(const Network& network, const Dataset& dataset,
+                             std::size_t layer) {
+  expects(layer < network.num_hidden_layers(), "layer out of range");
+  expects(network.has_predictor(layer), "layer has no predictor");
+
+  std::uint64_t false_kill = 0;
+  std::uint64_t false_pass = 0;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const ForwardTrace trace = network.forward(dataset.image(i));
+    const Vector& mask = trace.masks[layer];
+    const Vector& truth = trace.unmasked[layer];
+    for (std::size_t j = 0; j < mask.size(); ++j) {
+      const bool predicted_active = mask[j] > 0.0f;
+      const bool truly_active = truth[j] > 0.0f;
+      if (!predicted_active && truly_active) ++false_kill;
+      if (predicted_active && !truly_active) ++false_pass;
+      ++total;
+    }
+  }
+  MaskAgreement out;
+  const auto t = static_cast<double>(total);
+  out.false_kill_percent = 100.0 * static_cast<double>(false_kill) / t;
+  out.false_pass_percent = 100.0 * static_cast<double>(false_pass) / t;
+  out.agreement_percent =
+      100.0 - out.false_kill_percent - out.false_pass_percent;
+  return out;
+}
+
+}  // namespace sparsenn

@@ -1,0 +1,134 @@
+#include "nn/network.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace sparsenn {
+
+Network::Network(std::vector<std::size_t> layer_sizes, Rng& rng)
+    : sizes_(std::move(layer_sizes)) {
+  expects(sizes_.size() >= 2, "network needs at least input and output");
+  for (std::size_t s : sizes_) expects(s > 0, "layer size must be positive");
+  weights_.reserve(sizes_.size() - 1);
+  for (std::size_t l = 0; l + 1 < sizes_.size(); ++l) {
+    // He initialisation for the ReLU layers.
+    const float stddev =
+        std::sqrt(2.0f / static_cast<float>(sizes_[l]));
+    weights_.push_back(
+        Matrix::randn(sizes_[l + 1], sizes_[l], stddev, rng));
+  }
+  predictors_.resize(weights_.size());
+}
+
+void Network::set_predictor(std::size_t layer, Predictor predictor) {
+  expects(layer < num_hidden_layers(),
+          "predictors attach to hidden layers only");
+  expects(predictor.output_dim() == weights_[layer].rows() &&
+              predictor.input_dim() == weights_[layer].cols(),
+          "predictor dimensions must match the layer");
+  predictors_[layer] = std::move(predictor);
+}
+
+void Network::clear_predictors() {
+  for (auto& p : predictors_) p.reset();
+}
+
+bool Network::has_predictor(std::size_t layer) const {
+  return layer < predictors_.size() && predictors_[layer].has_value();
+}
+
+Predictor& Network::predictor(std::size_t layer) {
+  expects(has_predictor(layer), "layer has no predictor");
+  return *predictors_[layer];
+}
+
+const Predictor& Network::predictor(std::size_t layer) const {
+  expects(has_predictor(layer), "layer has no predictor");
+  return *predictors_[layer];
+}
+
+ForwardTrace Network::forward(std::span<const float> input) const {
+  expects(input.size() == sizes_.front(), "input dimension mismatch");
+  ForwardTrace trace;
+  const std::size_t nl = weights_.size();
+  trace.activations.reserve(nl + 1);
+  trace.pre_activations.resize(nl);
+  trace.unmasked.resize(nl);
+  trace.predictor_pre_sign.resize(nl);
+  trace.predictor_mid.resize(nl);
+  trace.masks.resize(nl);
+
+  trace.activations.emplace_back(input.begin(), input.end());
+  for (std::size_t l = 0; l < nl; ++l) {
+    const Vector& a = trace.activations.back();
+    Vector z = matvec(weights_[l], a);
+    trace.pre_activations[l] = z;
+
+    const bool is_output = (l + 1 == nl);
+    if (is_output) {
+      trace.unmasked[l] = z;
+      trace.activations.push_back(std::move(z));
+      continue;
+    }
+
+    Vector a_ori = relu(z);
+    trace.unmasked[l] = a_ori;
+    if (predictors_[l]) {
+      Vector s = predictors_[l]->project(a);
+      Vector t = predictors_[l]->expand(s);
+      Vector mask = positive_mask(t);
+      Vector a_next = hadamard(mask, a_ori);
+      trace.predictor_mid[l] = std::move(s);
+      trace.predictor_pre_sign[l] = std::move(t);
+      trace.masks[l] = std::move(mask);
+      trace.activations.push_back(std::move(a_next));
+    } else {
+      trace.activations.push_back(std::move(a_ori));
+    }
+  }
+  return trace;
+}
+
+Vector Network::infer(std::span<const float> input,
+                      bool use_predictor) const {
+  expects(input.size() == sizes_.front(), "input dimension mismatch");
+  Vector a(input.begin(), input.end());
+  const std::size_t nl = weights_.size();
+  for (std::size_t l = 0; l < nl; ++l) {
+    const bool is_output = (l + 1 == nl);
+    if (is_output) {
+      a = matvec(weights_[l], a);
+      break;
+    }
+    if (use_predictor && predictors_[l]) {
+      // Deployment order: predict first, compute only unmasked rows.
+      const Vector mask = predictors_[l]->mask(a);
+      Vector next(weights_[l].rows(), 0.0f);
+      for (std::size_t r = 0; r < next.size(); ++r) {
+        if (mask[r] == 0.0f) continue;
+        const auto row = weights_[l].row(r);
+        double acc = 0.0;
+        for (std::size_t c = 0; c < row.size(); ++c)
+          acc += double{row[c]} * double{a[c]};
+        next[r] = std::max(0.0f, static_cast<float>(acc));
+      }
+      a = std::move(next);
+    } else {
+      a = relu(matvec(weights_[l], a));
+    }
+  }
+  return a;
+}
+
+std::size_t Network::parameter_count() const noexcept {
+  std::size_t n = 0;
+  for (const Matrix& w : weights_) n += w.size();
+  for (const auto& p : predictors_) {
+    if (p) n += p->u().size() + p->v().size();
+  }
+  return n;
+}
+
+}  // namespace sparsenn

@@ -1,0 +1,81 @@
+#pragma once
+// The ReLU multi-layer perceptron with per-layer output-sparsity
+// predictors, mirroring Section III/IV of the paper.
+//
+// A network with L layers of units has L-1 weight matrices. Hidden
+// layers use ReLU and may carry a low-rank (U, V) predictor; the output
+// layer is linear (softmax applied by the loss). No biases, matching
+// Eq. (1) of the paper.
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/predictor.hpp"
+#include "tensor/matrix.hpp"
+
+namespace sparsenn {
+
+/// Everything the backward pass needs from one forward evaluation.
+struct ForwardTrace {
+  /// a(1)..a(L): activations per layer of units, post mask.
+  std::vector<Vector> activations;
+  /// z(l) = W(l) a(l) pre-nonlinearity, per weight layer.
+  std::vector<Vector> pre_activations;
+  /// a_ori = ReLU(z) before predictor masking (hidden layers only; the
+  /// entry for the output layer holds z unchanged).
+  std::vector<Vector> unmasked;
+  /// t = U V a predictor pre-sign values (empty when no predictor).
+  std::vector<Vector> predictor_pre_sign;
+  /// s = V a intermediate (empty when no predictor).
+  std::vector<Vector> predictor_mid;
+  /// Heaviside masks actually applied (empty when no predictor).
+  std::vector<Vector> masks;
+
+  const Vector& output() const { return activations.back(); }
+};
+
+/// MLP with optional per-hidden-layer sparsity predictors.
+class Network {
+ public:
+  /// `layer_sizes` = {n_in, n_h1, ..., n_out}; weights are He-initialised.
+  Network(std::vector<std::size_t> layer_sizes, Rng& rng);
+
+  std::size_t num_weight_layers() const noexcept { return weights_.size(); }
+  std::size_t num_hidden_layers() const noexcept {
+    return weights_.empty() ? 0 : weights_.size() - 1;
+  }
+  const std::vector<std::size_t>& layer_sizes() const noexcept {
+    return sizes_;
+  }
+
+  Matrix& weight(std::size_t layer) { return weights_.at(layer); }
+  const Matrix& weight(std::size_t layer) const {
+    return weights_.at(layer);
+  }
+
+  /// Attaches (or replaces) the predictor of hidden layer `layer`
+  /// (0-based weight-layer index; must be < num_hidden_layers()).
+  void set_predictor(std::size_t layer, Predictor predictor);
+  void clear_predictors();
+  bool has_predictor(std::size_t layer) const;
+  Predictor& predictor(std::size_t layer);
+  const Predictor& predictor(std::size_t layer) const;
+
+  /// Full forward pass retaining intermediates for training.
+  ForwardTrace forward(std::span<const float> input) const;
+
+  /// Inference-only forward (no trace); `use_predictor=false` gives the
+  /// NO-UV / uv_off behaviour on the same weights.
+  Vector infer(std::span<const float> input, bool use_predictor = true) const;
+
+  /// Total trainable parameter count (W + U + V).
+  std::size_t parameter_count() const noexcept;
+
+ private:
+  std::vector<std::size_t> sizes_;
+  std::vector<Matrix> weights_;
+  std::vector<std::optional<Predictor>> predictors_;
+};
+
+}  // namespace sparsenn

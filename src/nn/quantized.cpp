@@ -1,0 +1,189 @@
+#include "nn/quantized.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace sparsenn {
+namespace {
+
+QuantizedTensor quantize_matrix(const Matrix& m) {
+  QuantizedTensor out;
+  out.rows = m.rows();
+  out.cols = m.cols();
+  out.fmt = choose_format(m.flat());
+  out.data = quantize(m.flat(), out.fmt);
+  return out;
+}
+
+FixedPointFormat format_for_max(double max_abs) {
+  std::vector<float> probe{static_cast<float>(max_abs)};
+  return choose_format(probe);
+}
+
+}  // namespace
+
+std::int64_t QuantizedLayer::threshold_raw() const noexcept {
+  if (!has_predictor()) return 0;
+  const double scale =
+      std::ldexp(1.0, u->fmt.frac_bits + mid_fmt.frac_bits);
+  return static_cast<std::int64_t>(prediction_threshold * scale);
+}
+
+std::int16_t rescale_to_i16(std::int64_t acc, int from_frac,
+                            int to_frac) noexcept {
+  const int shift = from_frac - to_frac;
+  std::int64_t shifted = acc;
+  if (shift > 0) {
+    const std::int64_t half = std::int64_t{1} << (shift - 1);
+    shifted = acc >= 0 ? (acc + half) >> shift : -((-acc + half) >> shift);
+  } else if (shift < 0) {
+    shifted = acc << (-shift);
+  }
+  return static_cast<std::int16_t>(
+      std::clamp<std::int64_t>(shifted, -32768, 32767));
+}
+
+QuantizedNetwork::QuantizedNetwork(const Network& network,
+                                   const Matrix& calibration,
+                                   std::size_t calibration_limit) {
+  expects(calibration.cols() == network.layer_sizes().front(),
+          "calibration data dimension mismatch");
+  const std::size_t samples =
+      std::min(calibration.rows(), calibration_limit);
+  expects(samples > 0, "need at least one calibration sample");
+
+  const std::size_t nl = network.num_weight_layers();
+
+  // Calibrate per-layer ranges with float forward passes.
+  std::vector<double> act_max(nl + 1, 1e-6);
+  std::vector<double> mid_max(nl, 1e-6);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const ForwardTrace trace = network.forward(calibration.row(i));
+    for (std::size_t l = 0; l <= nl; ++l)
+      for (float v : trace.activations[l])
+        act_max[l] = std::max(act_max[l], std::abs(double{v}));
+    for (std::size_t l = 0; l < nl; ++l)
+      for (float v : trace.predictor_mid[l])
+        mid_max[l] = std::max(mid_max[l], std::abs(double{v}));
+  }
+
+  layers_.reserve(nl);
+  for (std::size_t l = 0; l < nl; ++l) {
+    QuantizedLayer q;
+    q.w = quantize_matrix(network.weight(l));
+    q.is_output = (l + 1 == nl);
+    q.in_fmt = format_for_max(act_max[l]);
+    q.out_fmt = format_for_max(act_max[l + 1]);
+    if (!q.is_output && network.has_predictor(l)) {
+      q.u = quantize_matrix(network.predictor(l).u());
+      q.v = quantize_matrix(network.predictor(l).v());
+      q.mid_fmt = format_for_max(mid_max[l]);
+    }
+    layers_.push_back(std::move(q));
+  }
+}
+
+std::vector<std::int16_t> QuantizedNetwork::quantize_input(
+    std::span<const float> input) const {
+  expects(!layers_.empty(), "empty network");
+  expects(input.size() == layers_.front().w.cols,
+          "input dimension mismatch");
+  return quantize(input, layers_.front().in_fmt);
+}
+
+QuantizedLayerResult QuantizedNetwork::forward_layer(
+    std::size_t l, std::span<const std::int16_t> act,
+    bool use_predictor) const {
+  const QuantizedLayer& q = layers_.at(l);
+  expects(act.size() == q.w.cols, "activation dimension mismatch");
+
+  QuantizedLayerResult out;
+  const std::size_t m = q.w.rows;
+
+  // --- Prediction phase: s = V a, t = U s, bit = t > 0 ---
+  if (use_predictor && q.has_predictor() && !q.is_output) {
+    const QuantizedTensor& v = *q.v;
+    const QuantizedTensor& u = *q.u;
+    const int s_from_frac = q.in_fmt.frac_bits + v.fmt.frac_bits;
+
+    out.v_result.resize(v.rows);
+    for (std::size_t r = 0; r < v.rows; ++r) {
+      std::int64_t acc = 0;
+      const auto row = v.row(r);
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        if (act[c] == 0) continue;  // input-sparsity skip, as in hardware
+        acc += std::int64_t{row[c]} * std::int64_t{act[c]};
+      }
+      out.v_result[r] =
+          rescale_to_i16(acc, s_from_frac, q.mid_fmt.frac_bits);
+    }
+
+    out.mask.resize(m);
+    const std::int64_t threshold = q.threshold_raw();
+    for (std::size_t r = 0; r < m; ++r) {
+      std::int64_t acc = 0;
+      const auto row = u.row(r);
+      for (std::size_t c = 0; c < row.size(); ++c)
+        acc += std::int64_t{row[c]} * std::int64_t{out.v_result[c]};
+      out.mask[r] = acc > threshold ? 1 : 0;
+    }
+  } else {
+    out.mask.assign(m, 1);  // uv_off: every row computed
+  }
+
+  // --- Feedforward phase: masked rows of W, input-sparse MACs ---
+  const int w_from_frac = q.in_fmt.frac_bits + q.w.fmt.frac_bits;
+  out.activations.assign(m, 0);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (!out.mask[r]) continue;
+    std::int64_t acc = 0;
+    const auto row = q.w.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (act[c] == 0) continue;
+      acc += std::int64_t{row[c]} * std::int64_t{act[c]};
+    }
+    std::int16_t y = rescale_to_i16(acc, w_from_frac, q.out_fmt.frac_bits);
+    if (!q.is_output) y = std::max<std::int16_t>(y, 0);  // ReLU
+    out.activations[r] = y;
+  }
+  return out;
+}
+
+std::vector<std::int16_t> QuantizedNetwork::infer_raw(
+    std::span<const float> input, bool use_predictor) const {
+  std::vector<std::int16_t> act = quantize_input(input);
+  for (std::size_t l = 0; l < layers_.size(); ++l)
+    act = forward_layer(l, act, use_predictor).activations;
+  return act;
+}
+
+Vector QuantizedNetwork::infer(std::span<const float> input,
+                               bool use_predictor) const {
+  const std::vector<std::int16_t> raw = infer_raw(input, use_predictor);
+  const std::vector<float> deq = dequantize(raw, layers_.back().out_fmt);
+  return Vector(deq.begin(), deq.end());
+}
+
+void QuantizedNetwork::set_prediction_threshold(double threshold) {
+  for (QuantizedLayer& layer : layers_)
+    if (layer.has_predictor()) layer.prediction_threshold = threshold;
+}
+
+double QuantizedNetwork::test_error_rate(const Matrix& inputs,
+                                         std::span<const int> labels,
+                                         bool use_predictor) const {
+  expects(inputs.rows() == labels.size(), "inputs/labels size mismatch");
+  expects(!labels.empty(), "empty evaluation set");
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < inputs.rows(); ++i) {
+    const Vector logits = infer(inputs.row(i), use_predictor);
+    if (argmax(logits) != static_cast<std::size_t>(labels[i])) ++errors;
+  }
+  return 100.0 * static_cast<double>(errors) /
+         static_cast<double>(labels.size());
+}
+
+}  // namespace sparsenn

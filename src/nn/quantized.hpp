@@ -1,0 +1,118 @@
+#pragma once
+// 16-bit fixed-point deployment model of a trained network.
+//
+// This is the functional "golden model" of what SparseNN executes:
+// the same quantised weights, the same integer MAC/rescale behaviour,
+// the same predict-then-compute flow. The cycle-accurate simulator
+// (src/sim) is verified to produce bit-identical activations — integer
+// accumulation commutes, so the NoC's out-of-order delivery cannot
+// change results, exactly the argument Section V.B makes.
+//
+// Formats are chosen by calibration: weights per-matrix from their
+// value range, activations and predictor intermediates per-layer from
+// a forward pass over calibration samples.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/fixed_point.hpp"
+#include "nn/network.hpp"
+
+namespace sparsenn {
+
+/// A quantised matrix: row-major int16 words plus its Q format.
+struct QuantizedTensor {
+  std::vector<std::int16_t> data;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  FixedPointFormat fmt{};
+
+  std::int16_t at(std::size_t r, std::size_t c) const noexcept {
+    return data[r * cols + c];
+  }
+  std::span<const std::int16_t> row(std::size_t r) const noexcept {
+    return {data.data() + r * cols, cols};
+  }
+};
+
+/// One weight layer with its optional predictor factors.
+struct QuantizedLayer {
+  QuantizedTensor w;                    ///< m × n
+  std::optional<QuantizedTensor> u;     ///< m × r
+  std::optional<QuantizedTensor> v;     ///< r × n
+  FixedPointFormat in_fmt{};            ///< format of incoming activations
+  FixedPointFormat out_fmt{};           ///< format of produced activations
+  FixedPointFormat mid_fmt{};           ///< format of s = V a
+  bool is_output = false;
+  /// Deploy-time prediction threshold θ: a row computes when
+  /// U V a > θ instead of > 0. Raising θ trades accuracy for sparsity
+  /// without retraining (extension of the paper's λ knob). Stored in
+  /// real units; the comparison uses the raw fixed-point equivalent.
+  double prediction_threshold = 0.0;
+
+  /// θ in raw accumulator units (frac bits of U × frac bits of s).
+  std::int64_t threshold_raw() const noexcept;
+
+  bool has_predictor() const noexcept { return u.has_value(); }
+  std::size_t rank() const noexcept { return u ? u->cols : 0; }
+};
+
+/// Rounds/shifts a raw accumulator with `from_frac` fractional bits to a
+/// saturated int16 with `to_frac` fractional bits (the write-back shifter).
+std::int16_t rescale_to_i16(std::int64_t acc, int from_frac,
+                            int to_frac) noexcept;
+
+/// Per-layer outputs of the quantised forward pass.
+struct QuantizedLayerResult {
+  std::vector<std::int16_t> activations;  ///< post ReLU + mask
+  std::vector<std::uint8_t> mask;         ///< predictor bits (1 = compute)
+  std::vector<std::int16_t> v_result;     ///< s = V a (raw i16 words)
+};
+
+/// The deployable network image.
+class QuantizedNetwork {
+ public:
+  /// Quantises `network`, calibrating activation ranges on up to
+  /// `calibration_limit` rows of `calibration` (N × n_in).
+  QuantizedNetwork(const Network& network, const Matrix& calibration,
+                   std::size_t calibration_limit = 64);
+
+  std::size_t num_layers() const noexcept { return layers_.size(); }
+  const QuantizedLayer& layer(std::size_t l) const {
+    return layers_.at(l);
+  }
+
+  std::vector<std::int16_t> quantize_input(
+      std::span<const float> input) const;
+
+  /// Executes one layer exactly as the hardware would: V then U to get
+  /// the predictor bits, then the masked W pass. With
+  /// `use_predictor=false` every output row is computed (uv_off / EIE).
+  QuantizedLayerResult forward_layer(std::size_t l,
+                                     std::span<const std::int16_t> act,
+                                     bool use_predictor) const;
+
+  /// Whole-network quantised inference; returns the output logits raw.
+  std::vector<std::int16_t> infer_raw(std::span<const float> input,
+                                      bool use_predictor = true) const;
+
+  /// Dequantised logits, for accuracy checks against the float model.
+  Vector infer(std::span<const float> input,
+               bool use_predictor = true) const;
+
+  /// Classification error (percent) of the quantised model on a span of
+  /// (inputs, labels) — used to confirm negligible quantisation loss.
+  double test_error_rate(const Matrix& inputs,
+                         std::span<const int> labels,
+                         bool use_predictor = true) const;
+
+  /// Sets the deploy-time prediction threshold θ on every predictor
+  /// layer (see QuantizedLayer::prediction_threshold).
+  void set_prediction_threshold(double threshold);
+
+ private:
+  std::vector<QuantizedLayer> layers_;
+};
+
+}  // namespace sparsenn

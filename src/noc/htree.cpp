@@ -1,0 +1,143 @@
+#include "noc/htree.hpp"
+
+#include "common/check.hpp"
+
+namespace sparsenn {
+namespace {
+
+std::size_t credit_latency_for(const ArchParams& params) {
+  // Buffered credit flow control returns credits in one cycle; the
+  // unbuffered ablation waits a full router-pipeline round trip with a
+  // single slot, which is what serialises the transfers.
+  return params.flow_control == FlowControl::kPacketBufferCredit
+             ? 1
+             : params.router_pipeline_stages;
+}
+
+std::size_t buffer_depth_for(const ArchParams& params) {
+  return params.flow_control == FlowControl::kPacketBufferCredit
+             ? params.router_buffer_depth
+             : 1;
+}
+
+}  // namespace
+
+UpwardTree::UpwardTree(const ArchParams& params, RouterMode mode)
+    : radix_(params.router_radix), num_pes_(params.num_pes) {
+  params.validate();
+  const std::size_t depth = buffer_depth_for(params);
+  const std::size_t credit = credit_latency_for(params);
+
+  // Build tiers until a single root remains: 64 PEs → 16 → 4 → 1.
+  std::size_t routers = num_pes_ / radix_;
+  for (;;) {
+    std::vector<Router> tier;
+    tier.reserve(routers);
+    for (std::size_t i = 0; i < routers; ++i)
+      tier.emplace_back(radix_, depth, credit, mode);
+    levels_.push_back(std::move(tier));
+    if (routers == 1) break;
+    ensures(routers % radix_ == 0, "router tier does not tile");
+    routers /= radix_;
+  }
+}
+
+bool UpwardTree::can_inject(std::size_t pe) const {
+  expects(pe < num_pes_, "PE id out of range");
+  return levels_.front()[pe / radix_].can_accept(pe % radix_);
+}
+
+void UpwardTree::inject(std::size_t pe, const Flit& flit) {
+  expects(pe < num_pes_, "PE id out of range");
+  levels_.front()[pe / radix_].push(pe % radix_, flit);
+}
+
+void UpwardTree::close_injector(std::size_t pe) {
+  expects(pe < num_pes_, "PE id out of range");
+  levels_.front()[pe / radix_].set_port_closed(pe % radix_, true);
+}
+
+std::optional<Flit> UpwardTree::step(bool root_ready) {
+  // Two-phase update: every router decides on begin-of-cycle state,
+  // then transfers commit, so a hop takes exactly one cycle.
+  std::vector<std::vector<std::optional<Flit>>> outputs(levels_.size());
+  for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {
+    auto& tier = levels_[lvl];
+    outputs[lvl].resize(tier.size());
+    const bool is_root = (lvl + 1 == levels_.size());
+    for (std::size_t i = 0; i < tier.size(); ++i) {
+      const bool parent_ready =
+          is_root ? root_ready
+                  : levels_[lvl + 1][i / radix_].can_accept(i % radix_);
+      outputs[lvl][i] = tier[i].step(parent_ready);
+    }
+  }
+
+  // Commit transfers into parent buffers.
+  for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    for (std::size_t i = 0; i < levels_[lvl].size(); ++i) {
+      if (outputs[lvl][i])
+        levels_[lvl + 1][i / radix_].push(i % radix_, *outputs[lvl][i]);
+    }
+  }
+
+  // In accumulate mode, propagate drained-subtree closure upward so a
+  // parent's ACC does not wait for children that will never send.
+  if (root().mode() == RouterMode::kAccumulate) {
+    for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+      for (std::size_t i = 0; i < levels_[lvl].size(); ++i) {
+        const Router& child = levels_[lvl][i];
+        if (child.idle() && child.all_closed() && !outputs[lvl][i])
+          levels_[lvl + 1][i / radix_].set_port_closed(i % radix_, true);
+      }
+    }
+  }
+
+  for (auto& tier : levels_)
+    for (auto& router : tier) router.commit();
+  return outputs.back().front();
+}
+
+bool UpwardTree::idle() const {
+  for (const auto& tier : levels_)
+    for (const auto& router : tier)
+      if (!router.idle()) return false;
+  return true;
+}
+
+NocStats UpwardTree::stats() const {
+  NocStats out;
+  double occupancy = 0.0;
+  for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {
+    for (const Router& r : levels_[lvl]) {
+      out.flit_hops += r.stats().flits_forwarded;
+      out.acc_operations += r.stats().acc_operations;
+      out.arbitration_conflicts += r.stats().arbitration_conflicts;
+      out.credit_stalls += r.stats().credit_stalls;
+      if (lvl == 0) occupancy += r.stats().mean_buffer_occupancy();
+    }
+  }
+  out.mean_leaf_occupancy =
+      occupancy / static_cast<double>(levels_.front().size());
+  out.root_flits = root().stats().flits_forwarded;
+  return out;
+}
+
+BroadcastChannel::BroadcastChannel(std::size_t latency)
+    : latency_(latency) {}
+
+void BroadcastChannel::send(const Flit& flit) {
+  in_flight_.push_back({flit, now_ + latency_});
+}
+
+std::optional<Flit> BroadcastChannel::step() {
+  ++now_;
+  if (!in_flight_.empty() && in_flight_.front().deliver_at <= now_) {
+    const Flit f = in_flight_.front().flit;
+    in_flight_.erase(in_flight_.begin());
+    return f;
+  }
+  return std::nullopt;
+}
+
+}  // namespace sparsenn

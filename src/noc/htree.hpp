@@ -1,0 +1,100 @@
+#pragma once
+// The H-tree of SparseNN (paper Fig. 3b / Fig. 4b — 3 levels at the
+// paper's 64-PE scale, built generically for any radix^levels array).
+//
+// UpwardTree wires radix-ary router tiers from the PEs to the root:
+// 16 leaf + 4 internal + 1 root at paper scale. The same structure
+// serves two phases:
+//   - kArbitrate: W-phase (and V-result redistribution) activation
+//     traffic, nonzero activations racing to the root;
+//   - kAccumulate: V-phase partial-sum reduction, where each level's
+//     ACC stage combines per-row partial sums.
+//
+// The root-to-PE direction is a contention-free pipelined multicast
+// (BroadcastChannel): one flit per cycle enters, and after a fixed
+// latency (one pipeline hop per level) it is delivered to every PE —
+// subject to the receivers' queue backpressure, which the owner
+// expresses through the `ready` argument.
+
+#include <optional>
+#include <vector>
+
+#include "arch/params.hpp"
+#include "noc/router.hpp"
+
+namespace sparsenn {
+
+/// Aggregated NoC statistics for one phase.
+struct NocStats {
+  std::uint64_t flit_hops = 0;          ///< router traversals
+  std::uint64_t acc_operations = 0;
+  std::uint64_t arbitration_conflicts = 0;
+  std::uint64_t credit_stalls = 0;
+  double mean_leaf_occupancy = 0.0;
+  std::uint64_t root_flits = 0;         ///< flits that reached the root
+};
+
+/// PE-to-root half of the H-tree.
+class UpwardTree {
+ public:
+  UpwardTree(const ArchParams& params, RouterMode mode);
+
+  std::size_t num_pes() const noexcept { return num_pes_; }
+  std::size_t num_levels() const noexcept { return levels_.size(); }
+
+  /// Can PE `pe` inject this cycle? (credit view of its leaf port)
+  bool can_inject(std::size_t pe) const;
+  /// Injects a flit from PE `pe`. Precondition: can_inject(pe).
+  void inject(std::size_t pe, const Flit& flit);
+
+  /// Declares that PE `pe` will send nothing more this phase (used by
+  /// the ACC reduction to terminate cleanly).
+  void close_injector(std::size_t pe);
+
+  /// Advances one cycle. `root_ready` tells whether the consumer of the
+  /// root output can take a flit. Returns the flit leaving the root.
+  std::optional<Flit> step(bool root_ready);
+
+  /// True when no flit is buffered anywhere in the tree.
+  bool idle() const;
+
+  NocStats stats() const;
+
+ private:
+  Router& root() noexcept { return levels_.back().front(); }
+  const Router& root() const noexcept { return levels_.back().front(); }
+
+  std::size_t radix_;
+  std::size_t num_pes_;
+  /// levels_[0] are the leaf routers; levels_.back() is {root}.
+  std::vector<std::vector<Router>> levels_;
+};
+
+/// Root-to-PEs pipelined multicast with fixed per-level latency.
+class BroadcastChannel {
+ public:
+  /// `latency` = cycles from entry to delivery (levels × hop latency).
+  explicit BroadcastChannel(std::size_t latency);
+
+  bool can_send() const noexcept { return true; }  // contention-free
+  void send(const Flit& flit);
+
+  /// Advances one cycle; returns the flit delivered to all PEs this
+  /// cycle, if any. The owner fans it out to the PE queues (it already
+  /// checked receiver backpressure before send()).
+  std::optional<Flit> step();
+
+  bool idle() const noexcept { return in_flight_.empty(); }
+  std::size_t in_flight() const noexcept { return in_flight_.size(); }
+
+ private:
+  struct Timed {
+    Flit flit;
+    std::uint64_t deliver_at;
+  };
+  std::size_t latency_;
+  std::uint64_t now_ = 0;
+  std::vector<Timed> in_flight_;  ///< FIFO by construction
+};
+
+}  // namespace sparsenn

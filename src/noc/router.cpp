@@ -1,0 +1,159 @@
+#include "noc/router.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace sparsenn {
+
+Router::Router(std::size_t radix, std::size_t buffer_depth,
+               std::size_t credit_latency, RouterMode mode)
+    : inputs_(radix),
+      buffer_depth_(buffer_depth),
+      credit_latency_(credit_latency),
+      mode_(mode) {
+  expects(radix > 0, "router radix must be positive");
+  expects(buffer_depth > 0, "router buffer depth must be positive");
+}
+
+bool Router::can_accept(std::size_t port) const {
+  expects(port < inputs_.size(), "router port out of range");
+  const Port& p = inputs_[port];
+  // Credits still travelling back to the child occupy a slot from the
+  // child's point of view.
+  std::size_t in_flight = 0;
+  for (std::size_t stamp : p.pending_credits)
+    if (stamp > now_) ++in_flight;
+  return p.buffer.size() + in_flight < buffer_depth_;
+}
+
+void Router::push(std::size_t port, const Flit& flit) {
+  expects(port < inputs_.size(), "router port out of range");
+  ensures(inputs_[port].buffer.size() < buffer_depth_,
+          "router buffer overflow (credit protocol violated)");
+  inputs_[port].buffer.push_back(flit);
+}
+
+void Router::set_port_closed(std::size_t port, bool closed) {
+  expects(port < inputs_.size(), "router port out of range");
+  inputs_[port].closed = closed;
+}
+
+std::optional<Flit> Router::arbitrate() {
+  std::optional<std::size_t> winner;
+  std::size_t candidates = 0;
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    if (inputs_[i].buffer.empty()) continue;
+    ++candidates;
+    if (!winner ||
+        inputs_[i].buffer.front().index <
+            inputs_[*winner].buffer.front().index) {
+      winner = i;
+    }
+  }
+  if (!winner) return std::nullopt;
+  if (candidates > 1) ++stats_.arbitration_conflicts;
+  granted_port_ = winner;
+  return inputs_[*winner].buffer.front();
+}
+
+std::optional<Flit> Router::accumulate() {
+  // Wait until every open port has its head flit; closed ports with
+  // drained buffers drop out of the reduction.
+  std::uint32_t row = UINT32_MAX;
+  bool any_data = false;
+  for (const Port& p : inputs_) {
+    if (p.buffer.empty()) {
+      if (!p.closed) {
+        if (any_data) return std::nullopt;  // ragged: wait for laggard
+        // No data anywhere yet either; keep scanning to find data.
+        continue;
+      }
+      continue;
+    }
+    any_data = true;
+    row = std::min(row, p.buffer.front().index);
+  }
+  if (!any_data) return std::nullopt;
+  // Every open port must be ready before the ACC fires.
+  for (const Port& p : inputs_) {
+    if (!p.closed && p.buffer.empty()) return std::nullopt;
+  }
+
+  Flit combined;
+  combined.index = row;
+  std::size_t contributors = 0;
+  for (const Port& p : inputs_) {
+    if (!p.buffer.empty() && p.buffer.front().index == row) {
+      combined.payload += p.buffer.front().payload;
+      combined.source = p.buffer.front().source;
+      ++contributors;
+    }
+  }
+  ensures(contributors > 0, "accumulate fired without contributors");
+  stats_.acc_operations += contributors - 1;
+  granted_all_ = true;
+  granted_row_cache_ = row;
+  return combined;
+}
+
+std::optional<Flit> Router::step(bool parent_ready) {
+  granted_port_.reset();
+  granted_all_ = false;
+
+  std::optional<Flit> out =
+      mode_ == RouterMode::kArbitrate ? arbitrate() : accumulate();
+  if (out && !parent_ready) {
+    ++stats_.credit_stalls;
+    granted_port_.reset();
+    granted_all_ = false;
+    return std::nullopt;
+  }
+  return out;
+}
+
+void Router::commit() {
+  if (granted_port_) {
+    Port& p = inputs_[*granted_port_];
+    p.buffer.pop_front();
+    p.pending_credits.push_back(now_ + credit_latency_);
+    ++stats_.flits_forwarded;
+    ++stats_.busy_cycles;
+  } else if (granted_all_) {
+    for (Port& p : inputs_) {
+      if (!p.buffer.empty() &&
+          p.buffer.front().index == granted_row_cache_) {
+        p.buffer.pop_front();
+        p.pending_credits.push_back(now_ + credit_latency_);
+      }
+    }
+    ++stats_.flits_forwarded;
+    ++stats_.busy_cycles;
+  }
+  granted_port_.reset();
+  granted_all_ = false;
+
+  std::size_t occupancy = 0;
+  for (Port& p : inputs_) {
+    occupancy += p.buffer.size();
+    std::erase_if(p.pending_credits,
+                  [this](std::size_t stamp) { return stamp <= now_; });
+  }
+  stats_.buffer_occupancy_sum += occupancy;
+  ++stats_.cycles;
+  ++now_;
+}
+
+bool Router::idle() const {
+  for (const Port& p : inputs_)
+    if (!p.buffer.empty()) return false;
+  return true;
+}
+
+bool Router::all_closed() const {
+  for (const Port& p : inputs_)
+    if (!p.closed) return false;
+  return true;
+}
+
+}  // namespace sparsenn

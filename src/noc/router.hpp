@@ -1,0 +1,91 @@
+#pragma once
+// The 4-input routing node of SparseNN's H-tree (paper Section V.B and
+// Fig. 4c). A router runs one of two modes:
+//
+//   kArbitrate — upward activation traffic: among the input buffers'
+//     head flits, the smallest activation index wins and is forwarded
+//     to the parent; the rest wait (buffered flow control). This is the
+//     source of out-of-order delivery across different subtrees.
+//
+//   kAccumulate — V-phase partial-sum reduction: the router waits until
+//     every connected child's head flit carries the same row index,
+//     adds the payloads in the ACC pipeline stage, and forwards one
+//     combined flit.
+//
+// Flow control is credit-based: a child may only send when the parent
+// buffer it targets has a free slot; credits return with a configurable
+// latency. With buffer depth 1 and credit latency equal to the router
+// pipeline depth this degrades to the unbuffered handshake used by the
+// ablation study.
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "noc/flit.hpp"
+
+namespace sparsenn {
+
+enum class RouterMode { kArbitrate, kAccumulate };
+
+/// One H-tree routing node with `radix` input ports and one output.
+class Router {
+ public:
+  Router(std::size_t radix, std::size_t buffer_depth,
+         std::size_t credit_latency, RouterMode mode);
+
+  std::size_t radix() const noexcept { return inputs_.size(); }
+  RouterMode mode() const noexcept { return mode_; }
+
+  /// True when port `port` can accept a flit this cycle (credit view of
+  /// the child).
+  bool can_accept(std::size_t port) const;
+
+  /// Child pushes a flit into the port buffer. Precondition:
+  /// can_accept(port).
+  void push(std::size_t port, const Flit& flit);
+
+  /// Marks a port as permanently drained for this phase (its child will
+  /// send nothing more); lets kAccumulate finish on ragged inputs.
+  void set_port_closed(std::size_t port, bool closed);
+
+  /// Computes this cycle's output decision from begin-of-cycle state.
+  /// `parent_ready` is the credit view toward the parent. Returns the
+  /// flit that leaves this cycle, if any. Call commit() after every
+  /// component computed its transfer.
+  std::optional<Flit> step(bool parent_ready);
+
+  /// Finalises the cycle: retires the granted flit, returns credits.
+  void commit();
+
+  /// True when all buffers are empty and nothing is in flight.
+  bool idle() const;
+
+  /// True when every input port has been closed (phase drained).
+  bool all_closed() const;
+
+  const RouterStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Port {
+    std::deque<Flit> buffer;
+    bool closed = false;
+    /// Slots freed this cycle whose credit is still travelling back.
+    std::vector<std::size_t> pending_credits;  ///< release cycle stamps
+  };
+
+  std::optional<Flit> arbitrate();
+  std::optional<Flit> accumulate();
+
+  std::vector<Port> inputs_;
+  std::size_t buffer_depth_;
+  std::size_t credit_latency_;
+  RouterMode mode_;
+  RouterStats stats_;
+  std::uint64_t now_ = 0;
+  std::optional<std::size_t> granted_port_;   ///< arbitrate winner
+  bool granted_all_ = false;                  ///< accumulate fired
+  std::uint32_t granted_row_cache_ = 0;       ///< row the ACC fired on
+};
+
+}  // namespace sparsenn

@@ -1,0 +1,3 @@
+#include "pe/act_queue.hpp"
+
+// Header-only logic; this translation unit anchors the library target.

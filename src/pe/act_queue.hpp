@@ -1,0 +1,54 @@
+#pragma once
+// The PE's input activation queue (ActQueue in paper Fig. 5): a small
+// FIFO decoupling NoC delivery from datapath consumption. Its depth is
+// what lets the buffered NoC keep every PE fed one activation per cycle
+// even when consumption rates differ across PEs.
+
+#include <cstdint>
+#include <deque>
+
+#include "common/check.hpp"
+#include "noc/flit.hpp"
+
+namespace sparsenn {
+
+class ActQueue {
+ public:
+  explicit ActQueue(std::size_t depth) : depth_(depth) {
+    expects(depth > 0, "activation queue depth must be positive");
+  }
+
+  bool full() const noexcept { return fifo_.size() >= depth_; }
+  bool empty() const noexcept { return fifo_.empty(); }
+  std::size_t size() const noexcept { return fifo_.size(); }
+  std::size_t free_slots() const noexcept { return depth_ - fifo_.size(); }
+  std::size_t depth() const noexcept { return depth_; }
+
+  void push(const Flit& flit) {
+    ensures(!full(), "ActQueue overflow (backpressure violated)");
+    fifo_.push_back(flit);
+    ++pushes_;
+  }
+
+  const Flit& front() const {
+    expects(!empty(), "ActQueue underflow");
+    return fifo_.front();
+  }
+
+  void pop() {
+    expects(!empty(), "ActQueue underflow");
+    fifo_.pop_front();
+    ++pops_;
+  }
+
+  std::uint64_t pushes() const noexcept { return pushes_; }
+  std::uint64_t pops() const noexcept { return pops_; }
+
+ private:
+  std::size_t depth_;
+  std::deque<Flit> fifo_;
+  std::uint64_t pushes_ = 0;
+  std::uint64_t pops_ = 0;
+};
+
+}  // namespace sparsenn

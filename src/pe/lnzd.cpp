@@ -1,0 +1,35 @@
+#include "pe/lnzd.hpp"
+
+namespace sparsenn {
+
+std::optional<std::size_t> next_nonzero(std::span<const std::int16_t> regs,
+                                        std::size_t start) {
+  for (std::size_t i = start; i < regs.size(); ++i)
+    if (regs[i] != 0) return i;
+  return std::nullopt;
+}
+
+std::optional<std::size_t> next_set_bit(std::span<const std::uint8_t> bits,
+                                        std::size_t start) {
+  for (std::size_t i = start; i < bits.size(); ++i)
+    if (bits[i] != 0) return i;
+  return std::nullopt;
+}
+
+std::vector<std::size_t> nonzero_positions(
+    std::span<const std::int16_t> regs) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < regs.size(); ++i)
+    if (regs[i] != 0) out.push_back(i);
+  return out;
+}
+
+std::vector<std::size_t> set_bit_positions(
+    std::span<const std::uint8_t> bits) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    if (bits[i] != 0) out.push_back(i);
+  return out;
+}
+
+}  // namespace sparsenn

@@ -1,0 +1,33 @@
+#pragma once
+// Leading nonzero detector (LNZD, paper Fig. 5). Two users:
+//   - the source register file scan that feeds nonzero input
+//     activations into the NoC (input sparsity);
+//   - the predictor register bank scan that selects the next predicted-
+//     nonzero output row during the W phase (output sparsity).
+// In hardware each scan step resolves in one cycle; these helpers give
+// the simulator the same semantics.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace sparsenn {
+
+/// Index of the first nonzero element at or after `start`, if any.
+std::optional<std::size_t> next_nonzero(std::span<const std::int16_t> regs,
+                                        std::size_t start);
+
+/// Same scan over a bit bank (the 1-bit predictor register bank).
+std::optional<std::size_t> next_set_bit(std::span<const std::uint8_t> bits,
+                                        std::size_t start);
+
+/// All nonzero positions, in ascending order — the full scan sequence
+/// an LNZD produces over a register file.
+std::vector<std::size_t> nonzero_positions(
+    std::span<const std::int16_t> regs);
+
+std::vector<std::size_t> set_bit_positions(
+    std::span<const std::uint8_t> bits);
+
+}  // namespace sparsenn

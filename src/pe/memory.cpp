@@ -1,0 +1,3 @@
+#include "pe/memory.hpp"
+
+// Header-only logic; this translation unit anchors the library target.

@@ -1,0 +1,75 @@
+#pragma once
+// Access-counted local SRAM banks of one PE (the per-PE W/U/V memories
+// of paper Table II). The bank stores 16-bit words row-major and checks
+// the configured capacity — a layer that does not fit the distributed
+// memory is a configuration error the simulator must surface, exactly
+// like exceeding the real chip's 128KB/PE would be.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace sparsenn {
+
+class SramBank {
+ public:
+  SramBank(std::string name, std::size_t capacity_kb)
+      : name_(std::move(name)), capacity_words_(capacity_kb * 1024 / 2) {}
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t capacity_words() const noexcept { return capacity_words_; }
+  std::size_t used_words() const noexcept { return words_.size(); }
+
+  /// Replaces the bank contents (one layer's slice). Throws when the
+  /// slice exceeds the physical capacity.
+  void load(std::vector<std::int16_t> words) {
+    expects(words.size() <= capacity_words_,
+            "layer slice exceeds SRAM capacity");
+    words_ = std::move(words);
+    row_stride_ = words_.size();
+  }
+
+  /// Loads a rows×stride row-major block.
+  void load_rows(std::vector<std::int16_t> words, std::size_t stride) {
+    expects(stride > 0, "row stride must be positive");
+    expects(words.size() <= capacity_words_,
+            "layer slice exceeds SRAM capacity");
+    words_ = std::move(words);
+    row_stride_ = stride;
+  }
+
+  std::int16_t read(std::size_t address) {
+    expects(address < words_.size(), "SRAM read out of range");
+    ++reads_;
+    return words_[address];
+  }
+
+  std::int16_t read_row_word(std::size_t row, std::size_t offset) {
+    return read(row * row_stride_ + offset);
+  }
+
+  std::span<const std::int16_t> row(std::size_t r) const {
+    expects((r + 1) * row_stride_ <= words_.size(),
+            "SRAM row out of range");
+    return {words_.data() + r * row_stride_, row_stride_};
+  }
+
+  std::size_t num_rows() const noexcept {
+    return row_stride_ == 0 ? 0 : words_.size() / row_stride_;
+  }
+
+  std::uint64_t reads() const noexcept { return reads_; }
+  void reset_counters() noexcept { reads_ = 0; }
+
+ private:
+  std::string name_;
+  std::size_t capacity_words_;
+  std::vector<std::int16_t> words_;
+  std::size_t row_stride_ = 0;
+  std::uint64_t reads_ = 0;
+};
+
+}  // namespace sparsenn

@@ -1,0 +1,263 @@
+#include "pe/pe.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "nn/quantized.hpp"
+#include "pe/lnzd.hpp"
+
+namespace sparsenn {
+
+ProcessingElement::ProcessingElement(std::size_t id,
+                                     const ArchParams& params)
+    : id_(id),
+      num_pes_(params.num_pes),
+      params_(params),
+      regfiles_(params.act_regs_per_pe),
+      queue_(params.act_queue_depth),
+      w_mem_("W", params.w_mem_kb_per_pe),
+      u_mem_("U", params.u_mem_kb_per_pe),
+      v_mem_("V", params.v_mem_kb_per_pe) {
+  expects(id < params.num_pes, "PE id out of range");
+}
+
+void ProcessingElement::load_layer(const PeLayerSlice& slice) {
+  expects(slice.layer_input_dim <= params_.max_activations(),
+          "layer input exceeds activation register capacity");
+  expects(slice.layer_output_dim <= params_.max_activations(),
+          "layer output exceeds activation register capacity");
+  slice_ = slice;
+  w_mem_.load_rows(slice.w_words,
+                   std::max<std::size_t>(1, slice.layer_input_dim));
+  if (slice.has_predictor) {
+    u_mem_.load_rows(slice.u_words, std::max<std::size_t>(1, slice.rank));
+    v_mem_.load_rows(slice.v_words, std::max<std::size_t>(1, slice.rank));
+  } else {
+    u_mem_.load_rows({}, 1);
+    v_mem_.load_rows({}, 1);
+  }
+  predictor_bits_.assign(slice.global_rows.size(), 0);
+  v_results_.assign(slice.rank, 0);
+  v_results_received_ = 0;
+}
+
+void ProcessingElement::load_input(
+    std::span<const std::int16_t> full_input) {
+  regfiles_.source().clear();
+  for (std::size_t slot = 0;
+       global_index_of_slot(slot) < full_input.size() &&
+       slot < regfiles_.source().size();
+       ++slot) {
+    regfiles_.source().write(slot, full_input[global_index_of_slot(slot)]);
+  }
+  events_.act_reg_writes += regfiles_.source().size();
+}
+
+void ProcessingElement::swap_regfiles() { regfiles_.swap(); }
+
+std::vector<Flit> ProcessingElement::scan_source_nonzeros() const {
+  std::vector<Flit> out;
+  const auto raw = regfiles_.source().raw();
+  const std::size_t slots =
+      (slice_.layer_input_dim + num_pes_ - 1) / num_pes_;
+  for (std::size_t slot = 0; slot < std::min(slots, raw.size()); ++slot) {
+    if (global_index_of_slot(slot) >= slice_.layer_input_dim) break;
+    if (raw[slot] != 0) {
+      out.push_back(Flit{
+          .index = static_cast<std::uint32_t>(global_index_of_slot(slot)),
+          .payload = raw[slot],
+          .source = static_cast<std::uint16_t>(id_)});
+    }
+  }
+  return out;
+}
+
+// ---------------- V phase ----------------
+
+void ProcessingElement::start_v_phase() {
+  ensures(slice_.has_predictor, "V phase requires a predictor slice");
+  v_partials_.assign(slice_.rank, 0);
+  v_inputs_ = scan_source_nonzeros();
+  v_input_cursor_ = 0;
+  v_rank_cursor_ = 0;
+  v_inject_cursor_ = 0;
+  v_results_.assign(slice_.rank, 0);
+  v_results_received_ = 0;
+  events_.lnzd_scans += v_inputs_.size();
+}
+
+bool ProcessingElement::v_compute_done() const noexcept {
+  return v_input_cursor_ >= v_inputs_.size();
+}
+
+void ProcessingElement::step_v_compute() {
+  if (v_compute_done()) return;
+  const Flit& in = v_inputs_[v_input_cursor_];
+  const std::size_t slot =
+      static_cast<std::size_t>(in.index) / num_pes_;
+  // One MAC: v[slot][k] * a, into partial k.
+  const std::int16_t w = v_mem_.read_row_word(slot, v_rank_cursor_);
+  v_partials_[v_rank_cursor_] +=
+      std::int64_t{w} * std::int64_t{in.payload};
+  ++events_.v_mem_reads;
+  ++events_.macs;
+  ++events_.pe_active_cycles;
+  if (++v_rank_cursor_ >= slice_.rank) {
+    v_rank_cursor_ = 0;
+    ++v_input_cursor_;
+    ++events_.act_reg_reads;
+  }
+}
+
+bool ProcessingElement::has_partial_ready() const noexcept {
+  return v_compute_done() && v_inject_cursor_ < v_partials_.size();
+}
+
+Flit ProcessingElement::peek_partial() const {
+  expects(has_partial_ready(), "no partial sum ready");
+  return Flit{.index = static_cast<std::uint32_t>(v_inject_cursor_),
+              .payload = v_partials_[v_inject_cursor_],
+              .source = static_cast<std::uint16_t>(id_)};
+}
+
+void ProcessingElement::pop_partial() {
+  expects(has_partial_ready(), "no partial sum ready");
+  ++v_inject_cursor_;
+  ++events_.pe_active_cycles;
+}
+
+bool ProcessingElement::all_partials_sent() const noexcept {
+  return v_compute_done() && v_inject_cursor_ >= v_partials_.size();
+}
+
+void ProcessingElement::receive_v_result(std::uint32_t row,
+                                         std::int16_t value) {
+  expects(row < v_results_.size(), "V result row out of range");
+  v_results_[row] = value;
+  ++v_results_received_;
+  ++events_.queue_ops;  // results land via the activation queue
+}
+
+// ---------------- U phase ----------------
+
+std::size_t ProcessingElement::run_u_phase() {
+  ensures(slice_.has_predictor, "U phase requires a predictor slice");
+  const std::size_t rows = slice_.global_rows.size();
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::int64_t acc = 0;
+    for (std::size_t k = 0; k < slice_.rank; ++k) {
+      acc += std::int64_t{u_mem_.read_row_word(r, k)} *
+             std::int64_t{v_results_[k]};
+      ++events_.u_mem_reads;
+      ++events_.macs;
+    }
+    predictor_bits_[r] = acc > slice_.predictor_threshold_raw ? 1 : 0;
+    ++events_.predictor_bits;
+  }
+  const std::size_t cycles = rows * slice_.rank;
+  events_.pe_active_cycles += cycles;
+  return cycles;
+}
+
+void ProcessingElement::force_all_rows_active() {
+  predictor_bits_.assign(slice_.global_rows.size(), 1);
+}
+
+// ---------------- W phase ----------------
+
+void ProcessingElement::start_w_phase() {
+  w_accumulators_.assign(slice_.global_rows.size(), 0);
+  active_local_rows_.clear();
+  for (std::size_t r = 0; r < predictor_bits_.size(); ++r) {
+    if (predictor_bits_[r]) active_local_rows_.push_back(r);
+    ++events_.predictor_bits;  // LNZD reads the bank once per row
+  }
+  w_injections_ = scan_source_nonzeros();
+  w_inject_cursor_ = 0;
+  w_busy_cycles_ = 0;
+  events_.lnzd_scans += w_injections_.size();
+}
+
+bool ProcessingElement::has_injection() const noexcept {
+  return w_inject_cursor_ < w_injections_.size();
+}
+
+const Flit& ProcessingElement::peek_injection() const {
+  expects(has_injection(), "no injection pending");
+  return w_injections_[w_inject_cursor_];
+}
+
+void ProcessingElement::pop_injection() {
+  expects(has_injection(), "no injection pending");
+  ++w_inject_cursor_;
+  ++events_.act_reg_reads;
+}
+
+bool ProcessingElement::injections_done() const noexcept {
+  return w_inject_cursor_ >= w_injections_.size();
+}
+
+void ProcessingElement::enqueue_activation(const Flit& flit) {
+  queue_.push(flit);
+  ++events_.queue_ops;
+}
+
+bool ProcessingElement::step_w_consume() {
+  if (w_busy_cycles_ > 0) {
+    --w_busy_cycles_;
+    ++events_.pe_active_cycles;
+    return true;
+  }
+  if (queue_.empty()) return false;
+
+  const Flit act = queue_.front();
+  queue_.pop();
+  ++events_.queue_ops;
+  expects(act.index < slice_.layer_input_dim,
+          "activation index out of layer range");
+
+  // Multiply with every predicted-active mapped row; the LNZD walks the
+  // predictor bank one active row per cycle, so the datapath is busy
+  // max(1, active_rows) cycles for this activation.
+  for (const std::size_t r : active_local_rows_) {
+    const std::int16_t w = w_mem_.read_row_word(r, act.index);
+    w_accumulators_[r] +=
+        std::int64_t{w} * std::int64_t{act.payload};
+    ++events_.w_mem_reads;
+    ++events_.macs;
+  }
+  w_busy_cycles_ =
+      active_local_rows_.empty() ? 0 : active_local_rows_.size() - 1;
+  ++events_.pe_active_cycles;
+  return true;
+}
+
+bool ProcessingElement::w_done() const noexcept {
+  return injections_done() && queue_.empty() && w_busy_cycles_ == 0;
+}
+
+std::vector<std::pair<std::uint32_t, std::int16_t>>
+ProcessingElement::write_back() {
+  regfiles_.destination().clear();
+  std::vector<std::pair<std::uint32_t, std::int16_t>> out;
+  out.reserve(slice_.global_rows.size());
+  const int from_frac = slice_.in_frac + slice_.w_frac;
+  for (std::size_t r = 0; r < slice_.global_rows.size(); ++r) {
+    std::int16_t value = 0;
+    if (predictor_bits_.empty() || predictor_bits_[r]) {
+      value = rescale_to_i16(w_accumulators_.empty() ? 0
+                                                     : w_accumulators_[r],
+                             from_frac, slice_.out_frac);
+      if (!slice_.is_output) value = std::max<std::int16_t>(value, 0);
+    }
+    const std::uint32_t global = slice_.global_rows[r];
+    regfiles_.destination().write(static_cast<std::size_t>(global) /
+                                      num_pes_,
+                                  value);
+    ++events_.act_reg_writes;
+    out.emplace_back(global, value);
+  }
+  return out;
+}
+
+}  // namespace sparsenn

@@ -1,0 +1,174 @@
+#pragma once
+// The SparseNN processing element (paper Fig. 5).
+//
+// A PE owns an interleaved slice of every layer: the rows j of W and U
+// with j mod num_pes == id, the columns j of V with j mod num_pes == id,
+// and the activation registers for the same interleaving. One inference
+// layer runs in up to three phases (Section V.D):
+//
+//   V phase — column-based: for each local nonzero input activation the
+//     PE MACs one column of V into `rank` local partial sums (one MAC
+//     per cycle), then streams the partial sums into the reduction tree.
+//   U phase — row-based: with the broadcast V results s in hand, each
+//     mapped U row takes `rank` MACs to produce t; the predictor bit
+//     t > 0 lands in the 1-bit predictor register bank.
+//   W phase — row-based with both sparsity types: local nonzero inputs
+//     are injected into the H-tree; every delivered activation is
+//     multiplied with the predicted-active mapped rows only (LNZD over
+//     the predictor bank), accumulating into destination registers.
+//
+// The cycle loop lives in src/sim; the PE exposes per-cycle step
+// methods and precise event counters. All arithmetic is int16/int64
+// fixed point and must match nn::QuantizedNetwork bit-for-bit.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "arch/energy.hpp"
+#include "arch/params.hpp"
+#include "noc/flit.hpp"
+#include "pe/act_queue.hpp"
+#include "pe/memory.hpp"
+#include "pe/regfile.hpp"
+
+namespace sparsenn {
+
+/// The slice of one layer mapped to one PE, already quantised.
+struct PeLayerSlice {
+  std::size_t layer_input_dim = 0;
+  std::size_t layer_output_dim = 0;
+  std::size_t rank = 0;
+  bool has_predictor = false;
+  bool is_output = false;
+
+  /// Global indices of the W/U rows mapped here, ascending.
+  std::vector<std::uint32_t> global_rows;
+  /// W rows, row-major, stride = layer_input_dim.
+  std::vector<std::int16_t> w_words;
+  /// U rows, row-major, stride = rank.
+  std::vector<std::int16_t> u_words;
+  /// V columns for the local input slots, row-major, stride = rank;
+  /// entry s covers global input index s * num_pes + pe_id.
+  std::vector<std::int16_t> v_words;
+
+  int in_frac = 9;
+  int out_frac = 9;
+  int mid_frac = 9;
+  int w_frac = 9;
+  int u_frac = 9;
+  int v_frac = 9;
+
+  /// Deploy-time prediction threshold in raw accumulator units: a row
+  /// is predicted active when the U-phase accumulator exceeds this.
+  std::int64_t predictor_threshold_raw = 0;
+};
+
+class ProcessingElement {
+ public:
+  ProcessingElement(std::size_t id, const ArchParams& params);
+
+  std::size_t id() const noexcept { return id_; }
+
+  /// Loads a layer slice into the local SRAMs (capacity-checked).
+  void load_layer(const PeLayerSlice& slice);
+
+  /// Writes the PE's interleaved share of the network input into the
+  /// source register file (layer 0 only).
+  void load_input(std::span<const std::int16_t> full_input);
+
+  /// Layer boundary: destination regfile becomes the next source.
+  void swap_regfiles();
+
+  // ---- V phase ----
+  void start_v_phase();
+  bool v_compute_done() const noexcept;
+  /// One cycle of local V MACs; no-op when compute is done.
+  void step_v_compute();
+  /// Partial-sum injection (after local compute): one flit per row.
+  bool has_partial_ready() const noexcept;
+  Flit peek_partial() const;
+  void pop_partial();
+  bool all_partials_sent() const noexcept;
+  /// Broadcast V result arriving from the root (already rescaled).
+  void receive_v_result(std::uint32_t row, std::int16_t value);
+  std::size_t v_results_received() const noexcept {
+    return v_results_received_;
+  }
+  std::span<const std::int16_t> v_results() const noexcept {
+    return v_results_;
+  }
+
+  // ---- U phase ----
+  /// Runs the whole U phase; returns the exact cycle count this PE
+  /// needs (rows × rank MACs at one per cycle).
+  std::size_t run_u_phase();
+  /// uv_off: mark every mapped row active instead of predicting.
+  void force_all_rows_active();
+  std::span<const std::uint8_t> predictor_bits() const noexcept {
+    return predictor_bits_;
+  }
+
+  // ---- W phase ----
+  void start_w_phase();
+  bool has_injection() const noexcept;
+  const Flit& peek_injection() const;
+  void pop_injection();
+  bool injections_done() const noexcept;
+  std::size_t queue_free_slots() const noexcept {
+    return queue_.free_slots();
+  }
+  void enqueue_activation(const Flit& flit);
+  /// One consumption cycle; returns true if the PE did work.
+  bool step_w_consume();
+  bool w_done() const noexcept;
+
+  /// Rescales accumulators and writes the destination register file;
+  /// returns (global index, value) pairs of the produced activations.
+  std::vector<std::pair<std::uint32_t, std::int16_t>> write_back();
+
+  const EventCounts& events() const noexcept { return events_; }
+  void reset_events() noexcept { events_ = EventCounts{}; }
+
+  /// Local (slot, value) nonzeros of the source register file —
+  /// exactly the LNZD scan output. Exposed for tests.
+  std::vector<Flit> scan_source_nonzeros() const;
+
+ private:
+  std::size_t global_index_of_slot(std::size_t slot) const noexcept {
+    return slot * num_pes_ + id_;
+  }
+
+  std::size_t id_;
+  std::size_t num_pes_;
+  ArchParams params_;
+
+  PingPongRegFiles regfiles_;
+  ActQueue queue_;
+  SramBank w_mem_;
+  SramBank u_mem_;
+  SramBank v_mem_;
+
+  PeLayerSlice slice_;
+  std::vector<std::uint8_t> predictor_bits_;  ///< per mapped row
+
+  // V phase state
+  std::vector<std::int64_t> v_partials_;
+  std::vector<Flit> v_inputs_;        ///< local nonzero inputs to process
+  std::size_t v_input_cursor_ = 0;    ///< which input
+  std::size_t v_rank_cursor_ = 0;     ///< which MAC within the column
+  std::size_t v_inject_cursor_ = 0;
+  std::vector<std::int16_t> v_results_;
+  std::size_t v_results_received_ = 0;
+
+  // W phase state
+  std::vector<std::int64_t> w_accumulators_;  ///< per mapped row
+  std::vector<std::size_t> active_local_rows_;
+  std::vector<Flit> w_injections_;
+  std::size_t w_inject_cursor_ = 0;
+  std::size_t w_busy_cycles_ = 0;
+
+  EventCounts events_;
+};
+
+}  // namespace sparsenn

@@ -1,0 +1,246 @@
+#include "sim/accelerator.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+#include "sim/schedule.hpp"
+
+namespace sparsenn {
+namespace {
+
+/// Hard ceiling on any phase; hitting it means a flow-control deadlock.
+constexpr std::uint64_t kCycleLimit = 50'000'000;
+
+}  // namespace
+
+EventCounts SimResult::total_events() const {
+  EventCounts total;
+  for (const LayerSimResult& l : layers) total += l.events;
+  return total;
+}
+
+AcceleratorSim::AcceleratorSim(const ArchParams& params) : params_(params) {
+  params_.validate();
+  pes_.reserve(params_.num_pes);
+  for (std::size_t i = 0; i < params_.num_pes; ++i)
+    pes_.emplace_back(i, params_);
+}
+
+SimResult AcceleratorSim::run(const QuantizedNetwork& network,
+                              std::span<const float> input,
+                              bool use_predictor) {
+  const std::vector<std::int16_t> quantized = network.quantize_input(input);
+
+  // Scatter the input across the PEs' source register files.
+  for (auto& pe : pes_) pe.load_input(quantized);
+
+  // Golden reference, computed layer by layer alongside the simulation.
+  std::vector<std::int16_t> golden = quantized;
+
+  if (trace_) trace_->begin_inference();
+
+  SimResult result;
+  for (std::size_t l = 0; l < network.num_layers(); ++l) {
+    LayerSimResult layer = run_layer(network, l, use_predictor);
+
+    const QuantizedLayerResult golden_layer =
+        network.forward_layer(l, golden, use_predictor);
+    ensures(layer.activations == golden_layer.activations,
+            "simulator diverged from the functional fixed-point model");
+    golden = golden_layer.activations;
+
+    result.total_cycles += layer.total_cycles;
+    result.layers.push_back(std::move(layer));
+    for (auto& pe : pes_) pe.swap_regfiles();
+  }
+  result.output = golden;
+  return result;
+}
+
+LayerSimResult AcceleratorSim::run_layer(const QuantizedNetwork& network,
+                                         std::size_t l,
+                                         bool use_predictor) {
+  const QuantizedLayer& layer = network.layer(l);
+  LayerSimResult result;
+
+  for (auto& pe : pes_) {
+    pe.reset_events();
+    pe.load_layer(make_pe_slice(layer, params_, pe.id(), use_predictor));
+    result.nnz_inputs += pe.scan_source_nonzeros().size();
+  }
+
+  const bool predict =
+      use_predictor && layer.has_predictor() && !layer.is_output;
+  if (predict) {
+    result.v_cycles = simulate_v_phase(layer, result);
+    std::uint64_t u_max = 0;
+    for (auto& pe : pes_) u_max = std::max(u_max, pe.run_u_phase());
+    result.u_cycles = u_max + params_.pe_pipeline_stages;
+  } else {
+    for (auto& pe : pes_) pe.force_all_rows_active();
+  }
+
+  result.w_cycles = simulate_w_phase(result);
+  result.total_cycles = result.v_cycles + result.u_cycles + result.w_cycles;
+
+  // Gather the produced activations (and count computed rows).
+  result.activations.assign(layer.w.rows, 0);
+  for (auto& pe : pes_) {
+    for (const auto& [global, value] : pe.write_back())
+      result.activations[global] = value;
+    for (const std::uint8_t bit : pe.predictor_bits())
+      result.active_rows += bit;
+  }
+
+  result.events = collect_pe_events();
+  result.events.router_flits =
+      result.v_noc.flit_hops + result.w_noc.flit_hops;
+  result.events.router_acc_ops =
+      result.v_noc.acc_operations + result.w_noc.acc_operations;
+  result.events.cycles = result.total_cycles;
+
+  if (trace_) {
+    std::uint64_t start = 0;
+    const auto emit = [&](const char* phase, std::uint64_t cycles,
+                          std::uint64_t flits, std::uint64_t macs) {
+      if (cycles == 0) return;
+      trace_->record(TraceRecord{.inference = 0,
+                                 .layer = l,
+                                 .phase = phase,
+                                 .start_cycle = start,
+                                 .cycles = cycles,
+                                 .flits = flits,
+                                 .macs = macs,
+                                 .nnz_inputs = result.nnz_inputs,
+                                 .active_rows = result.active_rows});
+      start += cycles;
+    };
+    emit("V", result.v_cycles, result.v_noc.flit_hops,
+         result.events.v_mem_reads);
+    emit("U", result.u_cycles, 0, result.events.u_mem_reads);
+    emit("W", result.w_cycles, result.w_noc.flit_hops,
+         result.events.w_mem_reads);
+  }
+  return result;
+}
+
+std::uint64_t AcceleratorSim::simulate_v_phase(const QuantizedLayer& layer,
+                                               LayerSimResult& result) {
+  UpwardTree tree(params_, RouterMode::kAccumulate);
+  BroadcastChannel broadcast(params_.router_levels);
+  const std::size_t rank = layer.rank();
+  const int from_frac = layer.in_fmt.frac_bits + layer.v->fmt.frac_bits;
+
+  for (auto& pe : pes_) pe.start_v_phase();
+
+  std::uint64_t cycles = 0;
+  std::vector<bool> closed(pes_.size(), false);
+  const auto all_received = [&] {
+    return std::all_of(pes_.begin(), pes_.end(), [&](const auto& pe) {
+      return pe.v_results_received() >= rank;
+    });
+  };
+
+  while (!all_received()) {
+    ensures(++cycles < kCycleLimit, "V-phase deadlock");
+
+    for (std::size_t i = 0; i < pes_.size(); ++i) {
+      ProcessingElement& pe = pes_[i];
+      if (!pe.v_compute_done()) {
+        pe.step_v_compute();
+      } else if (pe.has_partial_ready() && tree.can_inject(i)) {
+        tree.inject(i, pe.peek_partial());
+        pe.pop_partial();
+        if (pe.all_partials_sent() && !closed[i]) {
+          tree.close_injector(i);
+          closed[i] = true;
+        }
+      } else if (pe.all_partials_sent() && !closed[i]) {
+        tree.close_injector(i);
+        closed[i] = true;
+      }
+    }
+
+    // The root rescales the 32-bit sum to the 16-bit mid format and
+    // multicasts it; V results always find room (dedicated registers).
+    if (const auto out = tree.step(true)) {
+      Flit rescaled = *out;
+      rescaled.payload = rescale_to_i16(out->payload, from_frac,
+                                        layer.mid_fmt.frac_bits);
+      broadcast.send(rescaled);
+    }
+    if (const auto delivered = broadcast.step()) {
+      for (auto& pe : pes_)
+        pe.receive_v_result(delivered->index,
+                            static_cast<std::int16_t>(delivered->payload));
+    }
+  }
+
+  result.v_noc = tree.stats();
+  // Downward multicast traverses every router once per result flit.
+  result.v_noc.flit_hops +=
+      static_cast<std::uint64_t>(rank) * params_.total_routers();
+  return cycles + params_.pe_pipeline_stages;
+}
+
+std::uint64_t AcceleratorSim::simulate_w_phase(LayerSimResult& result) {
+  UpwardTree tree(params_, RouterMode::kArbitrate);
+  BroadcastChannel broadcast(params_.router_levels);
+
+  for (auto& pe : pes_) pe.start_w_phase();
+
+  std::uint64_t cycles = 0;
+  std::uint64_t delivered_count = 0;
+
+  const auto done = [&] {
+    if (!tree.idle() || !broadcast.idle()) return false;
+    return std::all_of(pes_.begin(), pes_.end(), [](const auto& pe) {
+      return pe.injections_done() && pe.w_done();
+    });
+  };
+
+  while (!done()) {
+    ensures(++cycles < kCycleLimit, "W-phase deadlock");
+
+    for (std::size_t i = 0; i < pes_.size(); ++i) {
+      if (pes_[i].has_injection() && tree.can_inject(i)) {
+        tree.inject(i, pes_[i].peek_injection());
+        pes_[i].pop_injection();
+      }
+    }
+
+    // Root issues only when every PE can absorb what is in flight plus
+    // one more flit (queue-credit backpressure).
+    std::size_t min_free = SIZE_MAX;
+    for (const auto& pe : pes_)
+      min_free = std::min(min_free, pe.queue_free_slots());
+    const bool root_ready = min_free > broadcast.in_flight();
+
+    if (const auto out = tree.step(root_ready)) broadcast.send(*out);
+
+    if (const auto delivered = broadcast.step()) {
+      for (auto& pe : pes_) pe.enqueue_activation(*delivered);
+      ++delivered_count;
+    }
+
+    for (auto& pe : pes_) pe.step_w_consume();
+  }
+
+  ensures(delivered_count == result.nnz_inputs,
+          "broadcast delivered a different number of activations than "
+          "were injected");
+
+  result.w_noc = tree.stats();
+  result.w_noc.flit_hops +=
+      delivered_count * params_.total_routers();  // downward multicast
+  return cycles + params_.pe_pipeline_stages;
+}
+
+EventCounts AcceleratorSim::collect_pe_events() {
+  EventCounts total;
+  for (auto& pe : pes_) total += pe.events();
+  return total;
+}
+
+}  // namespace sparsenn

@@ -1,0 +1,89 @@
+#pragma once
+// The top-level cycle-accurate SparseNN simulator.
+//
+// AcceleratorSim owns the 64 PEs and drives the per-layer phase
+// sequence of Section V.D:
+//
+//   V phase  — local column MACs, partial-sum reduction through the
+//              accumulate-mode H-tree, result broadcast;
+//   U phase  — row-based predictor evaluation filling the bit banks;
+//   W phase  — nonzero activations race through the arbitrate-mode
+//              H-tree to the root and broadcast to every PE, which
+//              multiplies them with its predicted-active rows only.
+//
+// With `use_predictor = false` the V/U phases are skipped and every
+// row computes — this is exactly the EIE-style input-sparsity-only
+// baseline the paper calls uv_off.
+//
+// Every run is verified against nn::QuantizedNetwork: the simulator's
+// activations must match the functional fixed-point model bit-exactly
+// (out-of-order NoC delivery cannot change integer sums).
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/energy.hpp"
+#include "arch/params.hpp"
+#include "nn/quantized.hpp"
+#include "noc/htree.hpp"
+#include "pe/pe.hpp"
+#include "sim/trace.hpp"
+
+namespace sparsenn {
+
+/// Cycle/energy results for one layer of one inference.
+struct LayerSimResult {
+  std::uint64_t v_cycles = 0;
+  std::uint64_t u_cycles = 0;
+  std::uint64_t w_cycles = 0;
+  std::uint64_t total_cycles = 0;
+  EventCounts events;           ///< all PEs + routers, this layer
+  NocStats w_noc;               ///< W-phase network statistics
+  NocStats v_noc;               ///< V-phase reduction statistics
+  std::vector<std::int16_t> activations;  ///< produced layer output
+  std::size_t nnz_inputs = 0;   ///< nonzero input activations
+  std::size_t active_rows = 0;  ///< rows actually computed
+};
+
+/// Whole-inference results.
+struct SimResult {
+  std::vector<LayerSimResult> layers;
+  std::vector<std::int16_t> output;
+  std::uint64_t total_cycles = 0;
+
+  EventCounts total_events() const;
+};
+
+class AcceleratorSim {
+ public:
+  explicit AcceleratorSim(const ArchParams& params);
+
+  const ArchParams& params() const noexcept { return params_; }
+
+  /// Runs one inference. The input is quantised with the network's
+  /// input format, scattered across the PEs, and the layers execute in
+  /// sequence. Throws InvariantError if the simulated activations ever
+  /// diverge from the functional model or the NoC deadlocks.
+  SimResult run(const QuantizedNetwork& network,
+                std::span<const float> input, bool use_predictor);
+
+  /// Attaches a trace log; every subsequent run() appends per-phase
+  /// records. Pass nullptr to detach. The log must outlive the sim.
+  void set_trace(TraceLog* trace) noexcept { trace_ = trace; }
+
+ private:
+  LayerSimResult run_layer(const QuantizedNetwork& network, std::size_t l,
+                           bool use_predictor);
+
+  std::uint64_t simulate_v_phase(const QuantizedLayer& layer,
+                                 LayerSimResult& result);
+  std::uint64_t simulate_w_phase(LayerSimResult& result);
+
+  EventCounts collect_pe_events();
+
+  ArchParams params_;
+  std::vector<ProcessingElement> pes_;
+  TraceLog* trace_ = nullptr;
+};
+
+}  // namespace sparsenn

@@ -1,0 +1,105 @@
+#include "sim/schedule.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace sparsenn {
+
+std::vector<std::uint32_t> rows_for_pe(std::size_t num_rows,
+                                       std::size_t pe,
+                                       std::size_t num_pes) {
+  expects(pe < num_pes, "PE id out of range");
+  std::vector<std::uint32_t> rows;
+  for (std::size_t j = pe; j < num_rows; j += num_pes)
+    rows.push_back(static_cast<std::uint32_t>(j));
+  return rows;
+}
+
+PeLayerSlice make_pe_slice(const QuantizedLayer& layer,
+                           const ArchParams& params, std::size_t pe,
+                           bool use_predictor) {
+  PeLayerSlice slice;
+  slice.layer_input_dim = layer.w.cols;
+  slice.layer_output_dim = layer.w.rows;
+  slice.is_output = layer.is_output;
+  slice.has_predictor =
+      use_predictor && layer.has_predictor() && !layer.is_output;
+  slice.rank = slice.has_predictor ? layer.rank() : 0;
+
+  slice.global_rows = rows_for_pe(layer.w.rows, pe, params.num_pes);
+
+  slice.w_words.reserve(slice.global_rows.size() * layer.w.cols);
+  for (const std::uint32_t r : slice.global_rows) {
+    const auto row = layer.w.row(r);
+    slice.w_words.insert(slice.w_words.end(), row.begin(), row.end());
+  }
+
+  slice.in_frac = layer.in_fmt.frac_bits;
+  slice.out_frac = layer.out_fmt.frac_bits;
+  slice.w_frac = layer.w.fmt.frac_bits;
+
+  if (slice.has_predictor) {
+    const QuantizedTensor& u = *layer.u;
+    const QuantizedTensor& v = *layer.v;
+    slice.u_frac = u.fmt.frac_bits;
+    slice.v_frac = v.fmt.frac_bits;
+    slice.mid_frac = layer.mid_fmt.frac_bits;
+    slice.predictor_threshold_raw = layer.threshold_raw();
+
+    slice.u_words.reserve(slice.global_rows.size() * u.cols);
+    for (const std::uint32_t r : slice.global_rows) {
+      const auto row = u.row(r);
+      slice.u_words.insert(slice.u_words.end(), row.begin(), row.end());
+    }
+
+    // Column-based: column j of V (j ≡ pe mod P), one stride-r record
+    // per local input slot.
+    for (std::size_t j = pe; j < v.cols; j += params.num_pes) {
+      for (std::size_t k = 0; k < v.rows; ++k)
+        slice.v_words.push_back(v.at(k, j));
+    }
+  }
+  return slice;
+}
+
+ScheduleEstimate estimate_row_schedule(std::size_t rows, std::size_t nnz_in,
+                                       const ArchParams& params) {
+  const std::size_t per_pe =
+      (rows + params.num_pes - 1) / params.num_pes;  // slowest PE
+  ScheduleEstimate out;
+  out.cycles = static_cast<std::uint64_t>(nnz_in) *
+               std::max<std::size_t>(1, per_pe);
+  const double useful = static_cast<double>(nnz_in) *
+                        static_cast<double>(rows);
+  const double offered = static_cast<double>(out.cycles) *
+                         static_cast<double>(params.num_pes);
+  out.pe_utilization = offered > 0.0 ? useful / offered : 0.0;
+  return out;
+}
+
+ScheduleEstimate estimate_column_schedule(std::size_t rows,
+                                          std::size_t nnz_in,
+                                          const ArchParams& params) {
+  // Local phase: each PE MACs its local nonzeros against its V columns,
+  // rows MACs per nonzero; local nonzeros are nnz/P on average but the
+  // slowest PE gates — assume balanced interleaving (ceil).
+  const std::size_t local_nnz =
+      (nnz_in + params.num_pes - 1) / params.num_pes;
+  const std::uint64_t local_cycles =
+      static_cast<std::uint64_t>(local_nnz) * rows;
+  // Reduction: pipelined, one row per cycle after a tree-depth fill,
+  // then the broadcast of results back down.
+  const std::uint64_t reduce_cycles =
+      rows + params.router_levels * 2 + params.router_pipeline_stages;
+  ScheduleEstimate out;
+  out.cycles = local_cycles + reduce_cycles;
+  const double useful =
+      static_cast<double>(nnz_in) * static_cast<double>(rows);
+  const double offered = static_cast<double>(out.cycles) *
+                         static_cast<double>(params.num_pes);
+  out.pe_utilization = offered > 0.0 ? useful / offered : 0.0;
+  return out;
+}
+
+}  // namespace sparsenn

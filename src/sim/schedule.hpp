@@ -1,0 +1,49 @@
+#pragma once
+// Work distribution across the PE array (paper Section V.A/V.C).
+//
+//   Row-based scheduling (W and U): global row j of the matrix — and
+//   activation j of the produced vector — belong to PE (j mod P).
+//
+//   Column-based scheduling (V): global column j of V belongs to PE
+//   (j mod P), i.e. the PE that already stores input activation j;
+//   every PE then holds a partial sum of every output row, reduced in
+//   the tree. This keeps all PEs busy even though V has only
+//   rank (< P) rows.
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/params.hpp"
+#include "nn/quantized.hpp"
+#include "pe/pe.hpp"
+
+namespace sparsenn {
+
+/// Row-based map: which global rows land on PE `pe`.
+std::vector<std::uint32_t> rows_for_pe(std::size_t num_rows,
+                                       std::size_t pe,
+                                       std::size_t num_pes);
+
+/// Builds the full per-PE slice of one quantised layer.
+PeLayerSlice make_pe_slice(const QuantizedLayer& layer,
+                           const ArchParams& params, std::size_t pe,
+                           bool use_predictor);
+
+/// Row-based execution cost of a matvec on the PE array, used by the
+/// scheduling ablation: cycles ≈ nnz_inputs × max_rows_per_pe — the
+/// utilisation collapses when the matrix has fewer rows than PEs.
+struct ScheduleEstimate {
+  std::uint64_t cycles = 0;
+  double pe_utilization = 0.0;  ///< fraction of PE-cycles doing MACs
+};
+
+ScheduleEstimate estimate_row_schedule(std::size_t rows, std::size_t nnz_in,
+                                       const ArchParams& params);
+
+/// Column-based estimate for the same matvec (V-style): local MACs plus
+/// the pipelined tree reduction.
+ScheduleEstimate estimate_column_schedule(std::size_t rows,
+                                          std::size_t nnz_in,
+                                          const ArchParams& params);
+
+}  // namespace sparsenn

@@ -1,0 +1,61 @@
+#include "sim/simd_platform.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace sparsenn {
+
+SimdPlatform lradnn_platform() {
+  return SimdPlatform{.name = "LRADNN",
+                      .tech_nm = 65,
+                      .peak_gops = 7.08,
+                      .w_mem_mb = 3.5,
+                      .power_mw_low = 439.0,
+                      .power_mw_high = 487.0,
+                      .area_mm2 = 51.0,
+                      .simd_width = 32,
+                      .freq_mhz = 110.0};
+}
+
+SimdPlatform dnn_engine_platform() {
+  return SimdPlatform{.name = "DNN-Engine",
+                      .tech_nm = 28,
+                      .peak_gops = 19.0,
+                      .w_mem_mb = 1.0,
+                      .power_mw_low = 63.5,
+                      .power_mw_high = 63.5,
+                      .area_mm2 = 5.76,
+                      .simd_width = 8,
+                      .freq_mhz = 1200.0};
+}
+
+std::uint64_t simd_layer_cycles(const SimdPlatform& platform,
+                                std::size_t rows, std::size_t cols) {
+  expects(platform.simd_width > 0, "SIMD width must be positive");
+  const std::uint64_t macs =
+      static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols);
+  return (macs + platform.simd_width - 1) / platform.simd_width;
+}
+
+double simd_layer_energy_uj(const SimdPlatform& platform, std::size_t rows,
+                            std::size_t cols) {
+  expects(platform.freq_mhz > 0.0, "frequency must be positive");
+  const double cycles =
+      static_cast<double>(simd_layer_cycles(platform, rows, cols));
+  const double seconds = cycles / (platform.freq_mhz * 1e6);
+  const double power_mw =
+      0.5 * (platform.power_mw_low + platform.power_mw_high);
+  return power_mw * 1e-3 * seconds * 1e6;  // W × s → J → µJ
+}
+
+double scale_energy_for_technology(double energy_uj, double from_mb,
+                                   int from_nm, double to_mb, int to_nm) {
+  const auto kb = [](double mb) {
+    return static_cast<std::size_t>(std::lround(mb * 1024.0));
+  };
+  return energy_uj *
+         read_energy_scale(kb(from_mb), from_nm, kb(to_mb), to_nm);
+}
+
+}  // namespace sparsenn

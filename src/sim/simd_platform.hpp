@@ -1,0 +1,51 @@
+#pragma once
+// Analytical models of the SIMD platforms SparseNN is compared against
+// in paper Table IV: LRADNN (ASP-DAC'16) and DNN-Engine (ISSCC'17).
+//
+// A SIMD accelerator with width S fetches S weights per cycle from a
+// unified memory and retires S MACs per cycle, so a dense m×n layer
+// takes m·n/S cycles; energy is power × time at the published operating
+// point. The paper's cross-technology comparison scales read energy by
+// the CACTI ratio (≈11× from 1MB@28nm to 8MB@65nm); the same scaling is
+// reproduced here via arch/cacti_lite.
+
+#include <string>
+
+#include "arch/cacti_lite.hpp"
+#include "arch/params.hpp"
+
+namespace sparsenn {
+
+/// Published operating point of a SIMD platform (Table IV row).
+struct SimdPlatform {
+  std::string name;
+  int tech_nm = 65;
+  double peak_gops = 0.0;
+  double w_mem_mb = 0.0;
+  double power_mw_low = 0.0;   ///< reported power range
+  double power_mw_high = 0.0;
+  double area_mm2 = 0.0;
+  std::size_t simd_width = 8;
+  double freq_mhz = 0.0;
+};
+
+/// Table IV's published rows.
+SimdPlatform lradnn_platform();
+SimdPlatform dnn_engine_platform();
+
+/// Cycles a width-S SIMD engine needs for a dense m×n layer
+/// (the paper's example: 785×1000/8 for DNN-Engine).
+std::uint64_t simd_layer_cycles(const SimdPlatform& platform,
+                                std::size_t rows, std::size_t cols);
+
+/// Energy (µJ) for that layer at the platform's mean published power.
+double simd_layer_energy_uj(const SimdPlatform& platform, std::size_t rows,
+                            std::size_t cols);
+
+/// The technology/memory normalisation the paper applies before
+/// declaring the ~4x advantage: scale `energy_uj` measured on
+/// (from_mb, from_nm) memory to the (to_mb, to_nm) design point.
+double scale_energy_for_technology(double energy_uj, double from_mb,
+                                   int from_nm, double to_mb, int to_nm);
+
+}  // namespace sparsenn

@@ -1,0 +1,43 @@
+#include "sim/trace.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace sparsenn {
+
+void TraceLog::record(TraceRecord record) {
+  record.inference = inference_;
+  records_.push_back(std::move(record));
+}
+
+std::uint64_t TraceLog::total_cycles(const std::string& phase) const {
+  std::uint64_t total = 0;
+  for (const TraceRecord& r : records_)
+    if (r.phase == phase) total += r.cycles;
+  return total;
+}
+
+void TraceLog::write_csv(std::ostream& out) const {
+  out << "inference,layer,phase,start_cycle,cycles,flits,macs,"
+         "nnz_inputs,active_rows\n";
+  for (const TraceRecord& r : records_) {
+    out << r.inference << ',' << r.layer << ',' << r.phase << ','
+        << r.start_cycle << ',' << r.cycles << ',' << r.flits << ','
+        << r.macs << ',' << r.nnz_inputs << ',' << r.active_rows << '\n';
+  }
+}
+
+void TraceLog::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  ensures(out.good(), "failed to open trace CSV for writing");
+  write_csv(out);
+}
+
+void TraceLog::clear() noexcept {
+  records_.clear();
+  inference_ = 0;
+}
+
+}  // namespace sparsenn

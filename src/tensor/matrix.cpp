@@ -1,0 +1,128 @@
+#include "tensor/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sparsenn {
+
+Matrix Matrix::from_rows(const std::vector<std::vector<float>>& rows) {
+  expects(!rows.empty(), "from_rows needs at least one row");
+  const std::size_t cols = rows.front().size();
+  Matrix m(rows.size(), cols);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    expects(rows[r].size() == cols, "ragged rows");
+    std::copy(rows[r].begin(), rows[r].end(), m.row(r).begin());
+  }
+  return m;
+}
+
+Matrix Matrix::randn(std::size_t rows, std::size_t cols, float stddev,
+                     Rng& rng) {
+  Matrix m(rows, cols);
+  for (float& v : m.data_)
+    v = static_cast<float>(rng.normal(0.0, stddev));
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0f;
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+double Matrix::frobenius_norm() const noexcept {
+  double acc = 0.0;
+  for (float v : data_) acc += double{v} * double{v};
+  return std::sqrt(acc);
+}
+
+Vector matvec(const Matrix& a, std::span<const float> x) {
+  expects(a.cols() == x.size(), "matvec dimension mismatch");
+  Vector y(a.rows(), 0.0f);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const auto row = a.row(r);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < row.size(); ++c)
+      acc += double{row[c]} * double{x[c]};
+    y[r] = static_cast<float>(acc);
+  }
+  return y;
+}
+
+Vector matvec_transposed(const Matrix& a, std::span<const float> x) {
+  expects(a.rows() == x.size(), "matvec_transposed dimension mismatch");
+  Vector y(a.cols(), 0.0f);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const float xr = x[r];
+    if (xr == 0.0f) continue;  // input sparsity shortcut, same as hardware
+    const auto row = a.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  expects(a.cols() == b.rows(), "matmul dimension mismatch");
+  Matrix c(a.rows(), b.cols());
+  constexpr std::size_t kBlock = 64;
+  for (std::size_t i0 = 0; i0 < a.rows(); i0 += kBlock) {
+    const std::size_t i1 = std::min(i0 + kBlock, a.rows());
+    for (std::size_t k0 = 0; k0 < a.cols(); k0 += kBlock) {
+      const std::size_t k1 = std::min(k0 + kBlock, a.cols());
+      for (std::size_t i = i0; i < i1; ++i) {
+        for (std::size_t k = k0; k < k1; ++k) {
+          const float aik = a(i, k);
+          if (aik == 0.0f) continue;
+          const auto brow = b.row(k);
+          auto crow = c.row(i);
+          for (std::size_t j = 0; j < brow.size(); ++j)
+            crow[j] += aik * brow[j];
+        }
+      }
+    }
+  }
+  return c;
+}
+
+void add_outer(Matrix& a, float alpha, std::span<const float> x,
+               std::span<const float> y) {
+  expects(a.rows() == x.size() && a.cols() == y.size(),
+          "add_outer dimension mismatch");
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const float ax = alpha * x[r];
+    if (ax == 0.0f) continue;
+    auto row = a.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) row[c] += ax * y[c];
+  }
+}
+
+void axpy(Matrix& a, float alpha, const Matrix& b) {
+  expects(a.rows() == b.rows() && a.cols() == b.cols(),
+          "axpy dimension mismatch");
+  auto af = a.flat();
+  const auto bf = b.flat();
+  for (std::size_t i = 0; i < af.size(); ++i) af[i] += alpha * bf[i];
+}
+
+double dot(std::span<const float> x, std::span<const float> y) {
+  expects(x.size() == y.size(), "dot dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    acc += double{x[i]} * double{y[i]};
+  return acc;
+}
+
+double norm2(std::span<const float> x) noexcept {
+  double acc = 0.0;
+  for (float v : x) acc += double{v} * double{v};
+  return std::sqrt(acc);
+}
+
+}  // namespace sparsenn

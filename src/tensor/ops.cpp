@@ -1,0 +1,75 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sparsenn {
+
+void relu_inplace(std::span<float> x) noexcept {
+  for (float& v : x) v = std::max(v, 0.0f);
+}
+
+Vector relu(std::span<const float> x) {
+  Vector out(x.begin(), x.end());
+  relu_inplace(out);
+  return out;
+}
+
+Vector sign(std::span<const float> x) {
+  Vector out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    out[i] = x[i] < 0.0f ? -1.0f : 1.0f;
+  return out;
+}
+
+Vector positive_mask(std::span<const float> x) {
+  Vector out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    out[i] = x[i] > 0.0f ? 1.0f : 0.0f;
+  return out;
+}
+
+Vector hadamard(std::span<const float> x, std::span<const float> y) {
+  expects(x.size() == y.size(), "hadamard dimension mismatch");
+  Vector out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] * y[i];
+  return out;
+}
+
+void hadamard_inplace(std::span<float> x, std::span<const float> y) {
+  expects(x.size() == y.size(), "hadamard dimension mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] *= y[i];
+}
+
+Vector straight_through_window(std::span<const float> x) {
+  Vector out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    out[i] = std::abs(x[i]) < 1.0f ? 1.0f : 0.0f;
+  return out;
+}
+
+Vector softmax(std::span<const float> logits) {
+  expects(!logits.empty(), "softmax of empty vector");
+  const float peak = *std::max_element(logits.begin(), logits.end());
+  Vector out(logits.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp(logits[i] - peak);
+    total += out[i];
+  }
+  const auto inv = static_cast<float>(1.0 / total);
+  for (float& v : out) v *= inv;
+  return out;
+}
+
+std::size_t argmax(std::span<const float> x) {
+  expects(!x.empty(), "argmax of empty vector");
+  return static_cast<std::size_t>(
+      std::distance(x.begin(), std::max_element(x.begin(), x.end())));
+}
+
+void clamp_inplace(std::span<float> x, float lo, float hi) noexcept {
+  for (float& v : x) v = std::clamp(v, lo, hi);
+}
+
+}  // namespace sparsenn

@@ -1,0 +1,91 @@
+#include "tensor/sparse.hpp"
+
+#include <cmath>
+
+namespace sparsenn {
+
+SparseVector SparseVector::from_dense(std::span<const float> dense,
+                                      float tolerance) {
+  SparseVector out;
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    if (std::abs(dense[i]) > tolerance) {
+      out.indices.push_back(static_cast<std::uint32_t>(i));
+      out.values.push_back(dense[i]);
+    }
+  }
+  return out;
+}
+
+Vector SparseVector::to_dense(std::size_t dimension) const {
+  Vector out(dimension, 0.0f);
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    expects(indices[k] < dimension, "sparse index out of range");
+    out[indices[k]] = values[k];
+  }
+  return out;
+}
+
+std::size_t count_nonzeros(std::span<const float> x,
+                           float tolerance) noexcept {
+  std::size_t n = 0;
+  for (float v : x)
+    if (std::abs(v) > tolerance) ++n;
+  return n;
+}
+
+CsrMatrix CsrMatrix::from_dense(const Matrix& dense, float tolerance) {
+  CsrMatrix out;
+  out.cols_ = dense.cols();
+  out.row_ptr_.reserve(dense.rows() + 1);
+  out.row_ptr_.push_back(0);
+  for (std::size_t r = 0; r < dense.rows(); ++r) {
+    const auto row = dense.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (std::abs(row[c]) > tolerance) {
+        out.col_idx_.push_back(static_cast<std::uint32_t>(c));
+        out.values_.push_back(row[c]);
+      }
+    }
+    out.row_ptr_.push_back(static_cast<std::uint32_t>(out.values_.size()));
+  }
+  return out;
+}
+
+std::span<const std::uint32_t> CsrMatrix::row_indices(std::size_t r) const {
+  expects(r < rows(), "CSR row out of range");
+  return {col_idx_.data() + row_ptr_[r],
+          static_cast<std::size_t>(row_ptr_[r + 1] - row_ptr_[r])};
+}
+
+std::span<const float> CsrMatrix::row_values(std::size_t r) const {
+  expects(r < rows(), "CSR row out of range");
+  return {values_.data() + row_ptr_[r],
+          static_cast<std::size_t>(row_ptr_[r + 1] - row_ptr_[r])};
+}
+
+Vector CsrMatrix::multiply(std::span<const float> x) const {
+  expects(x.size() == cols_, "CSR matvec dimension mismatch");
+  Vector y(rows(), 0.0f);
+  for (std::size_t r = 0; r < rows(); ++r) {
+    const auto idx = row_indices(r);
+    const auto val = row_values(r);
+    double acc = 0.0;
+    for (std::size_t k = 0; k < idx.size(); ++k)
+      acc += double{val[k]} * double{x[idx[k]]};
+    y[r] = static_cast<float>(acc);
+  }
+  return y;
+}
+
+Matrix CsrMatrix::to_dense() const {
+  Matrix out(rows(), cols_);
+  for (std::size_t r = 0; r < rows(); ++r) {
+    const auto idx = row_indices(r);
+    const auto val = row_values(r);
+    for (std::size_t k = 0; k < idx.size(); ++k)
+      out(r, idx[k]) = val[k];
+  }
+  return out;
+}
+
+}  // namespace sparsenn

@@ -1,0 +1,58 @@
+#pragma once
+// Sparse-vector utilities shared by the training metrics and the
+// hardware model: nonzero extraction (what the leading-nonzero detector
+// produces), sparsity metering, and a compressed-row matrix used by
+// tests as an oracle for sparse matvec.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace sparsenn {
+
+/// Index/value pairs of the nonzero elements, ascending index — exactly
+/// the stream a leading-nonzero-detector scan of a register file yields.
+struct SparseVector {
+  std::vector<std::uint32_t> indices;
+  std::vector<float> values;
+
+  std::size_t nnz() const noexcept { return indices.size(); }
+
+  static SparseVector from_dense(std::span<const float> dense,
+                                 float tolerance = 0.0f);
+  Vector to_dense(std::size_t dimension) const;
+};
+
+/// Number of strictly nonzero entries.
+std::size_t count_nonzeros(std::span<const float> x,
+                           float tolerance = 0.0f) noexcept;
+
+/// Compressed sparse row matrix (test oracle / EIE-style storage).
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  static CsrMatrix from_dense(const Matrix& dense, float tolerance = 0.0f);
+
+  std::size_t rows() const noexcept {
+    return row_ptr_.empty() ? 0 : row_ptr_.size() - 1;
+  }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t nnz() const noexcept { return values_.size(); }
+
+  std::span<const std::uint32_t> row_indices(std::size_t r) const;
+  std::span<const float> row_values(std::size_t r) const;
+
+  Vector multiply(std::span<const float> x) const;
+  Matrix to_dense() const;
+
+ private:
+  std::size_t cols_ = 0;
+  std::vector<std::uint32_t> row_ptr_;
+  std::vector<std::uint32_t> col_idx_;
+  std::vector<float> values_;
+};
+
+}  // namespace sparsenn

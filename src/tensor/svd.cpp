@@ -1,0 +1,206 @@
+#include "tensor/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace sparsenn {
+
+Matrix SvdResult::reconstruct() const {
+  // U * diag(sigma) * V^T
+  Matrix us = u;
+  for (std::size_t r = 0; r < us.rows(); ++r) {
+    auto row = us.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c)
+      row[c] *= sigma[c];
+  }
+  return matmul(us, v.transposed());
+}
+
+Matrix orthonormalize_columns(const Matrix& a) {
+  // Work column-wise on a transposed copy so columns are contiguous.
+  Matrix at = a.transposed();  // cols(a) × rows(a); each row is a column
+  const std::size_t k = at.rows();
+  std::vector<std::size_t> kept;
+  kept.reserve(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    auto col = at.row(c);
+    // Two passes of modified Gram-Schmidt for numerical robustness.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::size_t prev : kept) {
+        const auto q = at.row(prev);
+        const auto proj = static_cast<float>(dot(col, q));
+        for (std::size_t i = 0; i < col.size(); ++i)
+          col[i] -= proj * q[i];
+      }
+    }
+    const double nrm = norm2(col);
+    if (nrm > 1e-8) {
+      const auto inv = static_cast<float>(1.0 / nrm);
+      for (float& v : col) v *= inv;
+      kept.push_back(c);
+    } else {
+      std::fill(col.begin(), col.end(), 0.0f);
+    }
+  }
+  Matrix q(a.rows(), kept.size());
+  for (std::size_t j = 0; j < kept.size(); ++j) {
+    const auto col = at.row(kept[j]);
+    for (std::size_t i = 0; i < a.rows(); ++i) q(i, j) = col[i];
+  }
+  return q;
+}
+
+EigResult jacobi_eigendecomposition(const Matrix& a,
+                                    std::size_t max_sweeps) {
+  expects(a.rows() == a.cols(), "eigendecomposition needs a square matrix");
+  const std::size_t n = a.rows();
+  Matrix m = a;
+  Matrix e = Matrix::identity(n);
+
+  const auto off_diagonal_norm = [&]() {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j)
+        acc += 2.0 * double{m(i, j)} * double{m(i, j)};
+    return std::sqrt(acc);
+  };
+
+  const double threshold = 1e-10 * std::max(1.0, m.frobenius_norm());
+  for (std::size_t sweep = 0;
+       sweep < max_sweeps && off_diagonal_norm() > threshold; ++sweep) {
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::abs(apq) < 1e-14) continue;
+        const double app = m(p, p);
+        const double aqq = m(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mkp = m(k, p);
+          const double mkq = m(k, q);
+          m(k, p) = static_cast<float>(c * mkp - s * mkq);
+          m(k, q) = static_cast<float>(s * mkp + c * mkq);
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mpk = m(p, k);
+          const double mqk = m(q, k);
+          m(p, k) = static_cast<float>(c * mpk - s * mqk);
+          m(q, k) = static_cast<float>(s * mpk + c * mqk);
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double ekp = e(k, p);
+          const double ekq = e(k, q);
+          e(k, p) = static_cast<float>(c * ekp - s * ekq);
+          e(k, q) = static_cast<float>(s * ekp + c * ekq);
+        }
+      }
+    }
+  }
+
+  // Sort descending by eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return m(x, x) > m(y, y);
+  });
+  EigResult out{Matrix(n, n), Vector(n)};
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = m(order[j], order[j]);
+    for (std::size_t i = 0; i < n; ++i)
+      out.vectors(i, j) = e(i, order[j]);
+  }
+  return out;
+}
+
+namespace {
+
+/// SVD of a k×n matrix with small k: eigendecompose B B^T.
+SvdResult svd_via_gram(const Matrix& b) {
+  const std::size_t k = b.rows();
+  Matrix gram(k, k);
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = i; j < k; ++j) {
+      const auto g = static_cast<float>(dot(b.row(i), b.row(j)));
+      gram(i, j) = g;
+      gram(j, i) = g;
+    }
+  const EigResult eig = jacobi_eigendecomposition(gram);
+
+  SvdResult out{Matrix(k, k), Vector(k), Matrix(b.cols(), k)};
+  out.u = eig.vectors;
+  for (std::size_t j = 0; j < k; ++j) {
+    const double lambda = std::max(0.0, double{eig.values[j]});
+    const double sigma = std::sqrt(lambda);
+    out.sigma[j] = static_cast<float>(sigma);
+    if (sigma > 1e-10) {
+      // v_j = B^T u_j / sigma_j
+      Vector uj(k);
+      for (std::size_t i = 0; i < k; ++i) uj[i] = eig.vectors(i, j);
+      const Vector vj = matvec_transposed(b, uj);
+      const auto inv = static_cast<float>(1.0 / sigma);
+      for (std::size_t i = 0; i < b.cols(); ++i)
+        out.v(i, j) = vj[i] * inv;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SvdResult truncated_svd(const Matrix& w, std::size_t rank,
+                        const SvdOptions& options) {
+  expects(rank > 0, "rank must be positive");
+  expects(rank <= std::min(w.rows(), w.cols()),
+          "rank exceeds matrix dimensions");
+
+  const std::size_t sketch =
+      std::min(rank + options.oversample, std::min(w.rows(), w.cols()));
+
+  // Range finder: Y = W * Omega, orthonormalise, then power iterations
+  // (W W^T)^q Q to sharpen the spectrum.
+  Rng rng{options.seed};
+  Matrix omega =
+      Matrix::randn(w.cols(), sketch, 1.0f, rng);
+  Matrix y = matmul(w, omega);
+  Matrix q = orthonormalize_columns(y);
+  for (std::size_t it = 0; it < options.power_iterations; ++it) {
+    Matrix z = matmul(w.transposed(), q);
+    z = orthonormalize_columns(z);
+    y = matmul(w, z);
+    q = orthonormalize_columns(y);
+  }
+
+  // Project: B = Q^T W  (sketch × n), exact small SVD, lift U back.
+  const Matrix b = matmul(q.transposed(), w);
+  SvdResult small = svd_via_gram(b);
+
+  const std::size_t k = std::min(rank, small.sigma.size());
+  SvdResult out{Matrix(w.rows(), k), Vector(k), Matrix(w.cols(), k)};
+  const Matrix u_lift = matmul(q, small.u);
+  for (std::size_t j = 0; j < k; ++j) {
+    out.sigma[j] = small.sigma[j];
+    for (std::size_t i = 0; i < w.rows(); ++i)
+      out.u(i, j) = u_lift(i, j);
+    for (std::size_t i = 0; i < w.cols(); ++i)
+      out.v(i, j) = small.v(i, j);
+  }
+  return out;
+}
+
+SvdResult jacobi_svd(const Matrix& w) {
+  // Eigendecompose the smaller Gram matrix for numerical thrift.
+  if (w.rows() <= w.cols()) {
+    SvdResult r = svd_via_gram(w);
+    return r;
+  }
+  SvdResult r = svd_via_gram(w.transposed());
+  std::swap(r.u, r.v);
+  return r;
+}
+
+}  // namespace sparsenn

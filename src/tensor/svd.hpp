@@ -1,0 +1,58 @@
+#pragma once
+// Truncated singular value decomposition.
+//
+// The truncated-SVD sparsity predictor baseline (Davis et al. 2013,
+// LRADNN, and Section III.B of the SparseNN paper) needs the leading r
+// singular triplets of each weight matrix, recomputed once per training
+// epoch. Ranks are small (<= 100) while W is up to 1000x1000, so a
+// randomized range-finder (Halko, Martinsson, Tropp 2011) with a couple
+// of power iterations plus a dense Jacobi eigensolver on the small
+// projected matrix is both accurate and fast enough to run every epoch
+// on a laptop.
+
+#include "tensor/matrix.hpp"
+
+namespace sparsenn {
+
+/// W ≈ U * diag(sigma) * V^T with U: m×r, sigma: r, V: n×r.
+struct SvdResult {
+  Matrix u;
+  Vector sigma;
+  Matrix v;
+
+  /// Reconstructs the rank-r approximation (test/diagnostic use).
+  Matrix reconstruct() const;
+};
+
+/// Options for the randomized algorithm.
+struct SvdOptions {
+  std::size_t oversample = 8;    ///< extra columns in the sketch
+  std::size_t power_iterations = 2;
+  std::uint64_t seed = 0x51d51d5ULL;
+};
+
+/// Randomized truncated SVD of `w` to rank `rank`.
+/// Throws std::invalid_argument when rank is 0 or exceeds min(m, n).
+SvdResult truncated_svd(const Matrix& w, std::size_t rank,
+                        const SvdOptions& options = {});
+
+/// Exact SVD of a small matrix via one-sided Jacobi; O(n^3) per sweep,
+/// intended for matrices up to a few hundred on a side and as the test
+/// oracle for truncated_svd.
+SvdResult jacobi_svd(const Matrix& w);
+
+/// Symmetric eigendecomposition A = E diag(lambda) E^T by cyclic Jacobi.
+/// `a` must be square symmetric; eigenvalues are returned descending.
+struct EigResult {
+  Matrix vectors;  ///< columns are eigenvectors
+  Vector values;
+};
+EigResult jacobi_eigendecomposition(const Matrix& a,
+                                    std::size_t max_sweeps = 64);
+
+/// Thin QR via modified Gram-Schmidt with re-orthogonalisation.
+/// Returns Q (rows(a) × cols(a)) with orthonormal columns; silently
+/// drops directions with negligible norm (rank-deficient input).
+Matrix orthonormalize_columns(const Matrix& a);
+
+}  // namespace sparsenn

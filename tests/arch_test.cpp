@@ -1,0 +1,195 @@
+// Tests for src/arch: parameter validation, the CACTI-lite SRAM model,
+// the Table III area model, and the event-based energy model.
+
+#include <gtest/gtest.h>
+
+#include "arch/area.hpp"
+#include "arch/cacti_lite.hpp"
+#include "arch/energy.hpp"
+#include "arch/params.hpp"
+
+namespace sparsenn {
+namespace {
+
+TEST(Params, PaperDefaultsDeriveCorrectly) {
+  const ArchParams p = ArchParams::paper();
+  p.validate();
+  EXPECT_EQ(p.num_pes, 64u);
+  EXPECT_EQ(p.leaf_routers(), 16u);
+  EXPECT_EQ(p.internal_routers(), 4u);
+  EXPECT_EQ(p.total_routers(), 21u);
+  EXPECT_EQ(p.max_activations(), 4096u);       // 64 × 64 = 4K
+  EXPECT_EQ(p.total_w_mem_kb(), 8192u);        // 8 MB
+  EXPECT_DOUBLE_EQ(p.peak_gops(), 64.0);       // 64 GOPs @ 500MHz
+  EXPECT_EQ(p.w_words_per_pe(), 65536u);       // 128KB of 16-bit words
+}
+
+TEST(Params, ValidationCatchesBadShapes) {
+  ArchParams p;
+  p.num_pes = 63;  // not divisible by radix
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = ArchParams{};
+  p.router_levels = 2;  // 4^2 != 64
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = ArchParams{};
+  p.word_bits = 8;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = ArchParams{};
+  p.clock_ns = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Params, SmallerConfigsValidate) {
+  ArchParams p;
+  p.num_pes = 16;
+  p.router_levels = 2;
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_EQ(p.leaf_routers(), 4u);
+  EXPECT_EQ(p.internal_routers(), 1u);
+}
+
+TEST(CactiLite, MonotonicInCapacity) {
+  const auto small = sram_model({.capacity_kb = 8});
+  const auto large = sram_model({.capacity_kb = 128});
+  EXPECT_LT(small.area_um2, large.area_um2);
+  EXPECT_LT(small.read_energy_pj, large.read_energy_pj);
+  EXPECT_LT(small.access_time_ns, large.access_time_ns);
+  EXPECT_LT(small.leakage_mw, large.leakage_mw);
+}
+
+TEST(CactiLite, TechScalingShrinksEverything) {
+  const auto nm65 = sram_model({.capacity_kb = 128, .tech_nm = 65});
+  const auto nm28 = sram_model({.capacity_kb = 128, .tech_nm = 28});
+  EXPECT_LT(nm28.area_um2, nm65.area_um2);
+  EXPECT_LT(nm28.read_energy_pj, nm65.read_energy_pj);
+}
+
+TEST(CactiLite, PaperAnchors) {
+  // Section VI.C: 128KB access time > 1.7ns (forces the 2ns clock).
+  const auto w = sram_model({.capacity_kb = 128, .tech_nm = 65});
+  EXPECT_GT(w.access_time_ns, 1.7);
+  EXPECT_LT(w.access_time_ns, 2.0);
+  // Section VI.C: read energy ≈ 11x from 1MB@28nm to 8MB@65nm.
+  const double scale = read_energy_scale(1024, 28, 8192, 65);
+  EXPECT_NEAR(scale, 11.0, 1.0);
+}
+
+TEST(CactiLite, RejectsDegenerateConfigs) {
+  EXPECT_THROW(sram_model({.capacity_kb = 0}), std::invalid_argument);
+  EXPECT_THROW(sram_model({.capacity_kb = 8, .word_bits = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      sram_model({.capacity_kb = 8, .word_bits = 16, .tech_nm = 0}),
+      std::invalid_argument);
+}
+
+TEST(Area, TableThreeShape) {
+  const AreaBreakdown area = compute_area(ArchParams::paper());
+  // Paper Table III anchors (±10%).
+  EXPECT_NEAR(area.total, 78'443'365.0, 0.10 * 78'443'365.0);
+  EXPECT_NEAR(area.macro_memory, 74'426'310.0, 0.10 * 74'426'310.0);
+  EXPECT_NEAR(area.per_pe, 1'216'457.0, 0.10 * 1'216'457.0);
+  EXPECT_NEAR(area.routing_logic, 590'062.0, 0.25 * 590'062.0);
+  // Headline claims: routers < 1% of area, macros ≈ 95%.
+  EXPECT_LT(area.routing_percent(), 1.0);
+  EXPECT_GT(area.macro_percent(), 90.0);
+  // Components compose.
+  EXPECT_NEAR(area.total,
+              area.processing_elements + area.routing_logic,
+              1.0);
+}
+
+TEST(Area, MoreBufferingCostsArea) {
+  ArchParams p;
+  AreaBreakdown base = compute_area(p);
+  p.router_buffer_depth = 8;
+  AreaBreakdown deeper = compute_area(p);
+  EXPECT_GT(deeper.routing_logic, base.routing_logic);
+  EXPECT_EQ(deeper.macro_memory, base.macro_memory);
+}
+
+TEST(Energy, ZeroCountsOnlyLeak) {
+  const EnergyModel model(ArchParams::paper());
+  EventCounts counts;
+  counts.cycles = 1000;
+  const EnergyReport r = model.report(counts);
+  EXPECT_DOUBLE_EQ(r.w_mem_uj, 0.0);
+  EXPECT_DOUBLE_EQ(r.datapath_uj, 0.0);
+  EXPECT_DOUBLE_EQ(r.noc_uj, 0.0);
+  EXPECT_GT(r.leakage_uj, 0.0);
+  EXPECT_GT(r.clock_uj, 0.0);  // idle clocking residual
+  EXPECT_GT(r.total_uj, 0.0);
+  EXPECT_DOUBLE_EQ(r.elapsed_ns, 2000.0);
+}
+
+TEST(Energy, ComponentsSumToTotal) {
+  const EnergyModel model(ArchParams::paper());
+  EventCounts counts;
+  counts.w_mem_reads = 100000;
+  counts.u_mem_reads = 5000;
+  counts.v_mem_reads = 5000;
+  counts.macs = 110000;
+  counts.act_reg_reads = 2000;
+  counts.act_reg_writes = 1000;
+  counts.queue_ops = 4000;
+  counts.router_flits = 9000;
+  counts.router_acc_ops = 100;
+  counts.cycles = 20000;
+  counts.pe_active_cycles = 900000;
+  const EnergyReport r = model.report(counts);
+  EXPECT_NEAR(r.total_uj,
+              r.w_mem_uj + r.uv_mem_uj + r.datapath_uj + r.noc_uj +
+                  r.clock_uj + r.leakage_uj,
+              1e-9);
+  EXPECT_GT(r.avg_power_mw, 0.0);
+  // Power = energy / time consistency.
+  EXPECT_NEAR(r.avg_power_mw, r.total_uj / r.elapsed_ns * 1e6, 1e-6);
+}
+
+TEST(Energy, WMemoryReadsDominateTypicalMix) {
+  // The paper's power argument rests on W reads being the main burner:
+  // at the event mix of a dense layer, W-memory energy exceeds every
+  // other single component.
+  const EnergyModel model(ArchParams::paper());
+  EventCounts counts;
+  counts.w_mem_reads = 1'000'000;  // nnz × rows
+  counts.macs = 1'000'000;
+  counts.cycles = 16'000;
+  counts.pe_active_cycles = 1'000'000;
+  counts.router_flits = 64'000;
+  const EnergyReport r = model.report(counts);
+  EXPECT_GT(r.w_mem_uj, r.datapath_uj);
+  EXPECT_GT(r.w_mem_uj, r.noc_uj);
+  EXPECT_GT(r.w_mem_uj, r.clock_uj);
+  EXPECT_GT(r.w_mem_uj, r.leakage_uj);
+}
+
+TEST(Energy, UvMemoryCheaperPerAccessThanW) {
+  const EnergyModel model(ArchParams::paper());
+  // 8KB banks must cost far less per read than the 128KB W bank —
+  // the second reason the paper gives for the ~50% power cut.
+  EXPECT_LT(model.u_read_pj(), 0.5 * model.w_read_pj());
+  EXPECT_LT(model.v_read_pj(), 0.5 * model.w_read_pj());
+}
+
+TEST(Energy, EventCountsAccumulate) {
+  EventCounts a;
+  a.macs = 5;
+  a.cycles = 10;
+  EventCounts b;
+  b.macs = 7;
+  b.w_mem_reads = 3;
+  a += b;
+  EXPECT_EQ(a.macs, 12u);
+  EXPECT_EQ(a.w_mem_reads, 3u);
+  EXPECT_EQ(a.cycles, 10u);
+}
+
+TEST(FlowControl, Names) {
+  EXPECT_EQ(to_string(FlowControl::kPacketBufferCredit),
+            "packet-buffer-credit");
+  EXPECT_EQ(to_string(FlowControl::kUnbuffered), "unbuffered");
+}
+
+}  // namespace
+}  // namespace sparsenn

@@ -1,0 +1,457 @@
+// Tests for src/nn: network forward semantics, predictor construction,
+// loss, Alg. 1 training (numerical gradient verification where the
+// gradients are exact, behavioural checks for the straight-through
+// surrogate), metrics, and the quantised deployment model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataset.hpp"
+#include "data/digits.hpp"
+#include "nn/loss.hpp"
+#include "nn/metrics.hpp"
+#include "nn/network.hpp"
+#include "nn/quantized.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/ops.hpp"
+
+namespace sparsenn {
+namespace {
+
+Network tiny_network(std::vector<std::size_t> sizes, std::uint64_t seed) {
+  Rng rng{seed};
+  return Network{std::move(sizes), rng};
+}
+
+TEST(Network, TopologyAndShapes) {
+  const Network net = tiny_network({6, 8, 4}, 1);
+  EXPECT_EQ(net.num_weight_layers(), 2u);
+  EXPECT_EQ(net.num_hidden_layers(), 1u);
+  EXPECT_EQ(net.weight(0).rows(), 8u);
+  EXPECT_EQ(net.weight(0).cols(), 6u);
+  EXPECT_EQ(net.weight(1).rows(), 4u);
+  EXPECT_THROW(tiny_network({5}, 2), std::invalid_argument);
+}
+
+TEST(Network, ForwardDimensionsAndReLU) {
+  const Network net = tiny_network({6, 8, 4}, 3);
+  const Vector x(6, 0.5f);
+  const ForwardTrace trace = net.forward(x);
+  EXPECT_EQ(trace.activations.size(), 3u);
+  EXPECT_EQ(trace.activations[1].size(), 8u);
+  EXPECT_EQ(trace.output().size(), 4u);
+  for (float v : trace.activations[1]) EXPECT_GE(v, 0.0f);  // ReLU
+  EXPECT_THROW(net.forward(Vector(5, 0.0f)), std::invalid_argument);
+}
+
+TEST(Network, PredictorMaskingAppliedInForward) {
+  Network net = tiny_network({6, 8, 4}, 4);
+  Rng rng{5};
+  net.set_predictor(0, Predictor::random(8, 6, 3, rng));
+  const Vector x(6, 0.7f);
+  const ForwardTrace trace = net.forward(x);
+  ASSERT_EQ(trace.masks[0].size(), 8u);
+  for (std::size_t j = 0; j < 8; ++j) {
+    if (trace.masks[0][j] == 0.0f) {
+      EXPECT_FLOAT_EQ(trace.activations[1][j], 0.0f);
+    } else {
+      EXPECT_FLOAT_EQ(trace.activations[1][j], trace.unmasked[0][j]);
+    }
+    // The mask is the Heaviside of the pre-sign value.
+    EXPECT_EQ(trace.masks[0][j] > 0.0f,
+              trace.predictor_pre_sign[0][j] > 0.0f);
+  }
+}
+
+TEST(Network, InferMatchesForwardWithAndWithoutPredictor) {
+  Network net = tiny_network({6, 8, 4}, 6);
+  Rng rng{7};
+  net.set_predictor(0, Predictor::random(8, 6, 3, rng));
+  Rng xr{8};
+  for (int trial = 0; trial < 20; ++trial) {
+    Vector x(6);
+    for (float& v : x) v = static_cast<float>(xr.uniform(0.0, 1.0));
+    const ForwardTrace trace = net.forward(x);
+    const Vector fast = net.infer(x, /*use_predictor=*/true);
+    ASSERT_EQ(fast.size(), trace.output().size());
+    for (std::size_t i = 0; i < fast.size(); ++i)
+      EXPECT_NEAR(fast[i], trace.output()[i], 1e-4);
+
+    // uv_off inference ignores the predictor entirely.
+    Network bare = net;
+    bare.clear_predictors();
+    const Vector off = net.infer(x, /*use_predictor=*/false);
+    const Vector ref = bare.infer(x, /*use_predictor=*/true);
+    for (std::size_t i = 0; i < off.size(); ++i)
+      EXPECT_NEAR(off[i], ref[i], 1e-4);
+  }
+}
+
+TEST(Network, PredictorValidation) {
+  Network net = tiny_network({6, 8, 4}, 9);
+  Rng rng{10};
+  // Wrong dims rejected; output layer rejected.
+  EXPECT_THROW(net.set_predictor(0, Predictor::random(7, 6, 2, rng)),
+               std::invalid_argument);
+  EXPECT_THROW(net.set_predictor(1, Predictor::random(4, 8, 2, rng)),
+               std::invalid_argument);
+  EXPECT_FALSE(net.has_predictor(0));
+  net.set_predictor(0, Predictor::random(8, 6, 2, rng));
+  EXPECT_TRUE(net.has_predictor(0));
+  EXPECT_EQ(net.predictor(0).rank(), 2u);
+}
+
+TEST(Predictor, FromSvdApproximatesWeightProduct) {
+  Rng rng{11};
+  // Rank-2 W is exactly representable by a rank-2 predictor.
+  const Matrix a = Matrix::randn(10, 2, 1.0f, rng);
+  const Matrix b = Matrix::randn(2, 12, 1.0f, rng);
+  const Matrix w = matmul(a, b);
+  const Predictor p = Predictor::from_svd(w, 2);
+  const Matrix uv = matmul(p.u(), p.v());
+  for (std::size_t r = 0; r < w.rows(); ++r)
+    for (std::size_t c = 0; c < w.cols(); ++c)
+      EXPECT_NEAR(uv(r, c), w(r, c), 0.02);
+}
+
+TEST(Predictor, SvdPredictorAgreesOnStrongRows) {
+  // For a high-margin matrix the rank-r sign prediction matches sign(Wa).
+  Rng rng{12};
+  const Matrix w = matmul(Matrix::randn(16, 3, 1.0f, rng),
+                          Matrix::randn(3, 14, 1.0f, rng));
+  const Predictor p = Predictor::from_svd(w, 3);
+  Vector x(14);
+  for (float& v : x) v = static_cast<float>(rng.uniform(0.0, 1.0));
+  const Vector exact = matvec(w, x);
+  const Vector predicted = p.pre_sign(x);
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    if (std::abs(exact[i]) > 0.5f) {
+      EXPECT_EQ(exact[i] > 0.0f, predicted[i] > 0.0f) << "row " << i;
+    }
+  }
+}
+
+TEST(Predictor, RelativeCostMatchesPaperFormula) {
+  Rng rng{13};
+  const Predictor p = Predictor::random(1000, 1000, 15, rng);
+  // r(m+n)/(mn) = 15*2000/1e6 = 3% — the paper's "<5% overhead".
+  EXPECT_NEAR(p.relative_cost(), 0.03, 1e-9);
+  EXPECT_LT(p.relative_cost(), 0.05);
+}
+
+TEST(Loss, CrossEntropyAgainstManual) {
+  const std::vector<float> logits{1.0f, 2.0f, 3.0f};
+  const Vector probs = softmax(logits);
+  EXPECT_NEAR(cross_entropy_loss(logits, 2), -std::log(probs[2]), 1e-6);
+  EXPECT_THROW(cross_entropy_loss(logits, 3), std::invalid_argument);
+}
+
+TEST(Loss, GradientIsSoftmaxMinusOneHot) {
+  const std::vector<float> logits{0.5f, -0.2f, 1.1f};
+  const Vector g = cross_entropy_gradient(logits, 1);
+  const Vector p = softmax(logits);
+  EXPECT_NEAR(g[0], p[0], 1e-6);
+  EXPECT_NEAR(g[1], p[1] - 1.0f, 1e-6);
+  double total = 0.0;
+  for (float v : g) total += v;
+  EXPECT_NEAR(total, 0.0, 1e-5);  // gradient sums to zero
+}
+
+TEST(Loss, NumericalGradientCheck) {
+  // Finite differences on the logits.
+  std::vector<float> logits{0.3f, -0.7f, 0.9f, 0.1f};
+  const int label = 2;
+  const Vector g = cross_entropy_gradient(logits, label);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    std::vector<float> hi = logits;
+    std::vector<float> lo = logits;
+    hi[i] += eps;
+    lo[i] -= eps;
+    const double numeric = (cross_entropy_loss(hi, label) -
+                            cross_entropy_loss(lo, label)) /
+                           (2.0 * eps);
+    EXPECT_NEAR(g[i], numeric, 1e-3);
+  }
+}
+
+// ---- training ----
+
+/// Plain backprop (no predictors) must match finite differences on
+/// every weight: run one single-sample "batch" with lr chosen so the
+/// applied update *is* the gradient, and compare against numerical
+/// differentiation of the loss.
+TEST(Trainer, PlainBackpropMatchesFiniteDifferences) {
+  const std::vector<std::size_t> sizes{5, 6, 4, 3};
+  Network net = tiny_network(sizes, 20);
+
+  Rng rng{21};
+  Vector x(5);
+  for (float& v : x) v = static_cast<float>(rng.uniform(0.1, 1.0));
+  const int label = 1;
+
+  const auto loss_at = [&](const Network& n) {
+    return cross_entropy_loss(n.forward(x).output(), label);
+  };
+
+  // Extract the analytic gradient by running train() for one batch of
+  // one sample with lr = 1: W_new = W - grad.
+  DatasetSplit split;
+  split.train.inputs = Matrix(1, 5);
+  std::copy(x.begin(), x.end(), split.train.inputs.row(0).begin());
+  split.train.labels = {label};
+  split.test = split.train;
+
+  TrainOptions options;
+  options.kind = PredictorKind::kNone;
+  options.epochs = 1;
+  options.batch_size = 1;
+  options.learning_rate = 1.0;
+  options.lr_decay = 1.0;
+  options.threads = 1;
+
+  Network trained = net;
+  train(trained, split, options);
+
+  const float eps = 1e-3f;
+  for (std::size_t l = 0; l < net.num_weight_layers(); ++l) {
+    const Matrix analytic_grad = [&] {
+      Matrix g(net.weight(l).rows(), net.weight(l).cols());
+      for (std::size_t i = 0; i < g.size(); ++i)
+        g.flat()[i] = net.weight(l).flat()[i] - trained.weight(l).flat()[i];
+      return g;
+    }();
+    // Spot-check a grid of entries per layer.
+    for (std::size_t r = 0; r < net.weight(l).rows(); r += 2) {
+      for (std::size_t c = 0; c < net.weight(l).cols(); c += 3) {
+        Network hi = net;
+        Network lo = net;
+        hi.weight(l)(r, c) += eps;
+        lo.weight(l)(r, c) -= eps;
+        const double numeric =
+            (loss_at(hi) - loss_at(lo)) / (2.0 * eps);
+        EXPECT_NEAR(analytic_grad(r, c), numeric, 5e-3)
+            << "layer " << l << " (" << r << "," << c << ")";
+      }
+    }
+  }
+}
+
+TEST(Trainer, LearnsSeparableProblem) {
+  // Two well-separated pixel patterns; a tiny net must reach ~0 error.
+  DatasetSplit split;
+  const std::size_t n = 80;
+  split.train.inputs = Matrix(n, 8);
+  split.train.labels.resize(n);
+  Rng rng{22};
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(i % 2);
+    split.train.labels[i] = label;
+    auto row = split.train.inputs.row(i);
+    for (std::size_t j = 0; j < 8; ++j) {
+      const bool active = label == 0 ? j < 4 : j >= 4;
+      row[j] = active ? static_cast<float>(rng.uniform(0.6, 1.0))
+                      : static_cast<float>(rng.uniform(0.0, 0.1));
+    }
+  }
+  split.test = split.train;
+
+  TrainOptions options;
+  options.kind = PredictorKind::kNone;
+  options.epochs = 12;
+  options.learning_rate = 0.3;
+  options.seed = 23;
+  const TrainedModel model = train_network({8, 12, 2}, split, options);
+  EXPECT_LT(model.report.final_eval.test_error_rate, 5.0);
+}
+
+class PredictorKindSweep
+    : public ::testing::TestWithParam<PredictorKind> {};
+
+TEST_P(PredictorKindSweep, TrainingRunsAndEvaluates) {
+  DatasetOptions data;
+  data.train_size = 150;
+  data.test_size = 60;
+  const DatasetSplit split = make_dataset(DatasetVariant::kBasic, data);
+
+  TrainOptions options;
+  options.kind = GetParam();
+  options.rank = 6;
+  options.epochs = 2;
+  const TrainedModel model =
+      train_network({static_cast<std::size_t>(kImagePixels), 48, 10},
+                    split, options);
+  const EvalResult& eval = model.report.final_eval;
+  EXPECT_LT(eval.test_error_rate, 90.0);  // far better than chance decay
+  EXPECT_EQ(model.report.epoch_loss.size(), 2u);
+  EXPECT_LT(model.report.epoch_loss.back(),
+            model.report.epoch_loss.front());
+  if (GetParam() != PredictorKind::kNone) {
+    ASSERT_EQ(eval.predicted_sparsity.size(), 1u);
+    EXPECT_GT(eval.predicted_sparsity[0], 0.0);
+    EXPECT_LT(eval.predicted_sparsity[0], 100.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, PredictorKindSweep,
+    ::testing::Values(PredictorKind::kNone, PredictorKind::kSvd,
+                      PredictorKind::kEndToEnd),
+    [](const ::testing::TestParamInfo<PredictorKind>& info) {
+      return std::string{to_string(info.param)};
+    });
+
+TEST(Trainer, LambdaIncreasesPredictedSparsity) {
+  DatasetOptions data;
+  data.train_size = 200;
+  data.test_size = 60;
+  const DatasetSplit split = make_dataset(DatasetVariant::kBasic, data);
+
+  const auto sparsity_with = [&](double lambda) {
+    TrainOptions options;
+    options.kind = PredictorKind::kEndToEnd;
+    options.rank = 8;
+    options.epochs = 3;
+    options.lambda = lambda;
+    options.seed = 24;
+    const TrainedModel model = train_network(
+        {static_cast<std::size_t>(kImagePixels), 64, 10}, split, options);
+    return model.report.final_eval.predicted_sparsity.front();
+  };
+  // Eq. 4: a larger regularisation factor λ gives a sparser predictor.
+  // The effect is gradual, so compare a strong λ against none.
+  EXPECT_GT(sparsity_with(5e-2), sparsity_with(0.0) + 2.0);
+}
+
+TEST(Trainer, DeterministicForFixedThreadCount) {
+  DatasetOptions data;
+  data.train_size = 64;
+  data.test_size = 16;
+  const DatasetSplit split = make_dataset(DatasetVariant::kBasic, data);
+
+  const auto run = [&](std::size_t threads) {
+    TrainOptions options;
+    options.kind = PredictorKind::kEndToEnd;
+    options.rank = 4;
+    options.epochs = 1;
+    options.threads = threads;
+    options.seed = 25;
+    Rng rng{options.seed ^ 0xabcdefULL};
+    Network net{{static_cast<std::size_t>(kImagePixels), 32, 10}, rng};
+    train(net, split, options);
+    return net;
+  };
+  // Same seed and thread count → bit-identical result. (Different
+  // thread counts change the float reduction order, so only the fixed
+  // partition is guaranteed reproducible.)
+  const Network a = run(4);
+  const Network b = run(4);
+  EXPECT_EQ(a.weight(0), b.weight(0));
+  EXPECT_EQ(a.weight(1), b.weight(1));
+  EXPECT_EQ(a.predictor(0).u(), b.predictor(0).u());
+}
+
+TEST(Metrics, EvaluateReportsAllSparsities) {
+  Network net = tiny_network({8, 10, 6, 3}, 26);
+  Rng rng{27};
+  net.set_predictor(0, Predictor::random(10, 8, 3, rng));
+  net.set_predictor(1, Predictor::random(6, 10, 3, rng));
+
+  Dataset dataset{Matrix(20, 8), std::vector<int>(20)};
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::size_t j = 0; j < 8; ++j)
+      dataset.inputs(i, j) = static_cast<float>(rng.uniform(0.0, 1.0));
+    dataset.labels[i] = static_cast<int>(rng.uniform_index(3));
+  }
+  const EvalResult eval = evaluate(net, dataset);
+  EXPECT_EQ(eval.predicted_sparsity.size(), 2u);
+  EXPECT_EQ(eval.actual_sparsity.size(), 2u);
+  for (std::size_t l = 0; l < 2; ++l) {
+    // Effective sparsity ≥ both components that produce zeros.
+    EXPECT_GE(eval.effective_sparsity[l] + 1e-9,
+              eval.predicted_sparsity[l]);
+    EXPECT_GE(eval.effective_sparsity[l] + 1e-9,
+              eval.actual_sparsity[l]);
+  }
+  const MaskAgreement agreement = mask_agreement(net, dataset, 0);
+  EXPECT_NEAR(agreement.agreement_percent + agreement.false_kill_percent +
+                  agreement.false_pass_percent,
+              100.0, 1e-6);
+}
+
+// ---- quantised model ----
+
+TEST(Quantized, RescaleRounding) {
+  EXPECT_EQ(rescale_to_i16(0, 18, 9), 0);
+  EXPECT_EQ(rescale_to_i16(1 << 9, 18, 9), 1);       // exact
+  EXPECT_EQ(rescale_to_i16(1 << 8, 18, 9), 1);       // rounds half up
+  EXPECT_EQ(rescale_to_i16((1 << 8) - 1, 18, 9), 0); // below half
+  EXPECT_EQ(rescale_to_i16(-(1 << 8), 18, 9), -1);   // symmetric
+  EXPECT_EQ(rescale_to_i16(INT64_C(1) << 40, 18, 9), 32767);  // saturates
+  EXPECT_EQ(rescale_to_i16(-(INT64_C(1) << 40), 18, 9), -32768);
+  EXPECT_EQ(rescale_to_i16(3, 9, 9), 3);             // no shift
+}
+
+TEST(Quantized, MatchesFloatModelClosely) {
+  DatasetOptions data;
+  data.train_size = 300;
+  data.test_size = 100;
+  const DatasetSplit split = make_dataset(DatasetVariant::kBasic, data);
+
+  TrainOptions options;
+  options.kind = PredictorKind::kEndToEnd;
+  options.rank = 8;
+  options.epochs = 3;
+  const TrainedModel model = train_network(
+      {static_cast<std::size_t>(kImagePixels), 64, 10}, split, options);
+
+  const QuantizedNetwork q(model.network, split.train.inputs);
+  const double float_ter = model.report.final_eval.test_error_rate;
+  const double fixed_ter =
+      q.test_error_rate(split.test.inputs, split.test.labels);
+  // "negligible accuracy loss" — allow a few samples of slack.
+  EXPECT_NEAR(fixed_ter, float_ter, 5.0);
+}
+
+TEST(Quantized, UvOffComputesEveryRow) {
+  Network net = tiny_network({6, 8, 3}, 28);
+  Rng rng{29};
+  net.set_predictor(0, Predictor::random(8, 6, 2, rng));
+  Matrix calib(4, 6, 0.5f);
+  const QuantizedNetwork q(net, calib);
+
+  const std::vector<std::int16_t> input = q.quantize_input(
+      std::vector<float>{0.2f, 0.4f, 0.6f, 0.8f, 1.0f, 0.1f});
+  const QuantizedLayerResult on = q.forward_layer(0, input, true);
+  const QuantizedLayerResult off = q.forward_layer(0, input, false);
+  for (std::uint8_t bit : off.mask) EXPECT_EQ(bit, 1);
+  // Wherever the predictor passes a row, the two agree exactly.
+  for (std::size_t r = 0; r < on.mask.size(); ++r) {
+    if (on.mask[r])
+      EXPECT_EQ(on.activations[r], off.activations[r]);
+    else
+      EXPECT_EQ(on.activations[r], 0);
+  }
+}
+
+TEST(Quantized, InputSparsitySkipsAreExact) {
+  // Zero inputs contribute nothing: quantised inference of a sparse
+  // vector equals inference of its dense equivalent.
+  Network net = tiny_network({8, 6, 3}, 30);
+  Matrix calib(2, 8, 1.0f);
+  const QuantizedNetwork q(net, calib);
+  Vector x(8, 0.0f);
+  x[1] = 0.9f;
+  x[6] = 0.4f;
+  const auto raw = q.infer_raw(x, false);
+  // Reference: dense accumulate in double precision then quantise.
+  const Vector logits = net.infer(x, false);
+  const Vector deq = q.infer(x, false);
+  for (std::size_t i = 0; i < logits.size(); ++i)
+    EXPECT_NEAR(deq[i], logits[i], 0.05f + 0.02f * std::abs(logits[i]));
+  EXPECT_EQ(raw.size(), 3u);
+}
+
+}  // namespace
+}  // namespace sparsenn

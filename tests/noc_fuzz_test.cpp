@@ -1,0 +1,177 @@
+// Randomised property tests of the NoC protocol: whatever traffic is
+// offered, the H-tree must conserve flits (no loss, no duplication),
+// preserve per-source FIFO order, never overflow a buffer (the credit
+// protocol would trap), and always drain to idle.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.hpp"
+#include "noc/htree.hpp"
+
+namespace sparsenn {
+namespace {
+
+struct FuzzConfig {
+  std::size_t num_pes;
+  std::size_t levels;
+  FlowControl flow;
+  std::size_t buffer_depth;
+  double inject_probability;  ///< chance a ready PE injects this cycle
+  double drain_probability;   ///< chance the root consumer is ready
+  std::uint64_t seed;
+};
+
+class NocFuzz : public ::testing::TestWithParam<FuzzConfig> {};
+
+TEST_P(NocFuzz, ConservationOrderAndDrain) {
+  const FuzzConfig config = GetParam();
+  ArchParams params;
+  params.num_pes = config.num_pes;
+  params.router_levels = config.levels;
+  params.flow_control = config.flow;
+  params.router_buffer_depth = config.buffer_depth;
+  params.validate();
+
+  Rng rng{config.seed};
+  UpwardTree tree(params, RouterMode::kArbitrate);
+
+  // Random per-PE traffic with ascending indices (as an LNZD produces).
+  std::vector<std::vector<Flit>> pending(params.num_pes);
+  std::size_t total = 0;
+  for (std::size_t pe = 0; pe < params.num_pes; ++pe) {
+    const std::size_t n = rng.uniform_index(24);
+    std::uint32_t index = static_cast<std::uint32_t>(pe);
+    for (std::size_t k = 0; k < n; ++k) {
+      index += static_cast<std::uint32_t>(
+          params.num_pes * (1 + rng.uniform_index(3)));
+      pending[pe].push_back(
+          Flit{.index = index,
+               .payload = static_cast<std::int64_t>(rng.uniform_index(1 << 20)),
+               .source = static_cast<std::uint16_t>(pe)});
+      ++total;
+    }
+  }
+  std::map<std::uint32_t, std::int64_t> expected;
+  for (const auto& q : pending)
+    for (const Flit& f : q) expected[f.index] += f.payload;
+
+  std::map<std::uint32_t, std::int64_t> received;
+  std::map<std::uint16_t, std::uint32_t> last_index_from;
+  std::size_t count = 0;
+  std::uint64_t guard = 0;
+
+  // Inject and drain stochastically; then force-drain.
+  while (count < total) {
+    ASSERT_LT(++guard, 2'000'000u)
+        << "deadlock at " << count << "/" << total;
+    for (std::size_t pe = 0; pe < params.num_pes; ++pe) {
+      if (!pending[pe].empty() && tree.can_inject(pe) &&
+          rng.uniform() < config.inject_probability) {
+        tree.inject(pe, pending[pe].front());
+        pending[pe].erase(pending[pe].begin());
+      }
+    }
+    const bool ready = rng.uniform() < config.drain_probability;
+    if (const auto out = tree.step(ready)) {
+      ASSERT_TRUE(ready) << "flit left the root while consumer stalled";
+      received[out->index] += out->payload;
+      ++count;
+      // Per-source FIFO order must survive arbitrary arbitration.
+      const auto it = last_index_from.find(out->source);
+      if (it != last_index_from.end())
+        EXPECT_GT(out->index, it->second)
+            << "PE " << out->source << " flits reordered";
+      last_index_from[out->source] = out->index;
+    }
+  }
+
+  EXPECT_EQ(received, expected);  // conservation: no loss, no dupes
+  // The tree must be fully drained once everything was delivered.
+  std::size_t settle = 0;
+  while (!tree.idle()) {
+    ASSERT_LT(++settle, 1000u) << "tree did not drain to idle";
+    tree.step(true);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Traffic, NocFuzz,
+    ::testing::Values(
+        // Paper-scale, smooth traffic.
+        FuzzConfig{64, 3, FlowControl::kPacketBufferCredit, 4, 1.0, 1.0,
+                   101},
+        // Paper-scale, bursty injection and a slow consumer.
+        FuzzConfig{64, 3, FlowControl::kPacketBufferCredit, 4, 0.4, 0.5,
+                   102},
+        // Deep buffers.
+        FuzzConfig{64, 3, FlowControl::kPacketBufferCredit, 8, 0.8, 0.9,
+                   103},
+        // Unbuffered handshake under pressure.
+        FuzzConfig{64, 3, FlowControl::kUnbuffered, 4, 1.0, 0.7, 104},
+        // Small array, stuttering consumer.
+        FuzzConfig{16, 2, FlowControl::kPacketBufferCredit, 4, 0.6, 0.3,
+                   105},
+        // Minimal array.
+        FuzzConfig{4, 1, FlowControl::kPacketBufferCredit, 2, 1.0, 1.0,
+                   106}),
+    [](const ::testing::TestParamInfo<FuzzConfig>& info) {
+      const FuzzConfig& c = info.param;
+      return std::to_string(c.num_pes) + "pe_" +
+             (c.flow == FlowControl::kUnbuffered ? "unbuffered"
+                                                 : "buffered") +
+             "_seed" + std::to_string(c.seed);
+    });
+
+/// The reduction mode under the same stochastic stress: sums must stay
+/// exact whatever the injection pattern.
+TEST(NocFuzzReduction, StochasticReductionStaysExact) {
+  ArchParams params;  // paper scale
+  for (const std::uint64_t seed : {201u, 202u, 203u}) {
+    Rng rng{seed};
+    UpwardTree tree(params, RouterMode::kAccumulate);
+    const std::size_t rank = 1 + rng.uniform_index(24);
+
+    std::vector<std::int64_t> expected(rank, 0);
+    std::vector<std::vector<Flit>> pending(params.num_pes);
+    for (std::size_t pe = 0; pe < params.num_pes; ++pe) {
+      for (std::uint32_t row = 0; row < rank; ++row) {
+        const auto value =
+            static_cast<std::int64_t>(rng.uniform_index(1 << 16)) -
+            (1 << 15);
+        pending[pe].push_back(
+            Flit{.index = row, .payload = value,
+                 .source = static_cast<std::uint16_t>(pe)});
+        expected[row] += value;
+      }
+    }
+
+    std::vector<bool> closed(params.num_pes, false);
+    std::vector<std::int64_t> sums;
+    std::uint64_t guard = 0;
+    while (sums.size() < rank) {
+      ASSERT_LT(++guard, 1'000'000u) << "reduction deadlocked";
+      for (std::size_t pe = 0; pe < params.num_pes; ++pe) {
+        if (!pending[pe].empty() && tree.can_inject(pe) &&
+            rng.bernoulli(0.7)) {
+          tree.inject(pe, pending[pe].front());
+          pending[pe].erase(pending[pe].begin());
+          if (pending[pe].empty()) {
+            tree.close_injector(pe);
+            closed[pe] = true;
+          }
+        }
+      }
+      if (const auto out = tree.step(rng.bernoulli(0.8))) {
+        EXPECT_EQ(out->index, sums.size());
+        sums.push_back(out->payload);
+      }
+    }
+    EXPECT_EQ(sums, expected) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace sparsenn

@@ -1,0 +1,83 @@
+// Tests for the simulation trace log and its integration with the
+// cycle-accurate simulator.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/accelerator.hpp"
+#include "sim/trace.hpp"
+
+namespace sparsenn {
+namespace {
+
+TEST(TraceLog, RecordsAndAggregates) {
+  TraceLog log;
+  log.begin_inference();
+  log.record({.layer = 0, .phase = "V", .cycles = 10});
+  log.record({.layer = 0, .phase = "W", .cycles = 100});
+  log.begin_inference();
+  log.record({.layer = 0, .phase = "W", .cycles = 90});
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.total_cycles("W"), 190u);
+  EXPECT_EQ(log.total_cycles("V"), 10u);
+  EXPECT_EQ(log.records()[0].inference, 1u);
+  EXPECT_EQ(log.records()[2].inference, 2u);
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(TraceLog, CsvHasHeaderAndRows) {
+  TraceLog log;
+  log.begin_inference();
+  log.record({.layer = 2, .phase = "U", .start_cycle = 5, .cycles = 42});
+  std::ostringstream os;
+  log.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("inference,layer,phase"), std::string::npos);
+  EXPECT_NE(csv.find("1,2,U,5,42"), std::string::npos);
+}
+
+TEST(TraceLog, SimulatorEmitsPhaseRecords) {
+  ArchParams arch;
+  arch.num_pes = 16;
+  arch.router_levels = 2;
+
+  Rng rng{1};
+  Network net{{24, 20, 6}, rng};
+  net.set_predictor(0, Predictor::random(20, 24, 4, rng));
+  Matrix calib(2, 24, 0.5f);
+  const QuantizedNetwork q(net, calib);
+
+  AcceleratorSim sim(arch);
+  TraceLog log;
+  sim.set_trace(&log);
+  const Vector x(24, 0.5f);
+
+  const SimResult on = sim.run(q, x, true);
+  // Layer 0 with predictor: V, U, W records; layer 1 (output): W only.
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.records()[0].phase, "V");
+  EXPECT_EQ(log.records()[1].phase, "U");
+  EXPECT_EQ(log.records()[2].phase, "W");
+  EXPECT_EQ(log.records()[3].phase, "W");
+  EXPECT_EQ(log.records()[3].layer, 1u);
+
+  // Trace cycles agree with the result's cycle accounting.
+  EXPECT_EQ(log.records()[0].cycles, on.layers[0].v_cycles);
+  EXPECT_EQ(log.records()[2].cycles, on.layers[0].w_cycles);
+
+  // A second inference increments the inference index.
+  sim.run(q, x, false);
+  EXPECT_EQ(log.records().back().inference, 2u);
+  // uv_off adds W-only records.
+  EXPECT_EQ(log.records()[4].phase, "W");
+
+  sim.set_trace(nullptr);
+  const std::size_t frozen = log.size();
+  sim.run(q, x, true);
+  EXPECT_EQ(log.size(), frozen);  // detached
+}
+
+}  // namespace
+}  // namespace sparsenn
