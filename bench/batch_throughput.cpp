@@ -1,0 +1,72 @@
+// Batched-inference throughput of the multi-threaded simulation driver
+// (src/sim/batch_runner.hpp): trains the quickstart model, then sweeps
+// worker-thread counts over the same test batch and reports aggregate
+// inferences/sec, cycles/inference and parallel speedup. Aggregate
+// cycle counts are asserted identical across thread counts — the
+// driver's merge is deterministic by construction.
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/system.hpp"
+
+int main() {
+  using namespace sparsenn;
+  using namespace sparsenn::bench;
+
+  const Scale scale = resolve_scale();
+  announce(scale, "batch_throughput — multi-threaded simulation driver");
+
+  SystemOptions options;
+  options.topology = {784, scale.full ? 1000u : 256u, 10};
+  options.variant = DatasetVariant::kBasic;
+  options.data = dataset_options(scale);
+  options.train = train_options(scale, PredictorKind::kEndToEnd, 15);
+
+  System system(options);
+  std::cout << "Training the quickstart model...\n";
+  system.prepare();
+
+  const std::size_t batch = scale.full ? 256 : 64;
+  std::uint64_t reference_cycles = 0;
+  double reference_ips = 0.0;
+
+  Table table({"threads", "inferences", "wall(s)", "inf/s", "cycles/inf",
+               "speedup"});
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    BatchOptions opts;
+    opts.num_threads = threads;
+    opts.max_samples = batch;
+    opts.keep_results = false;
+    const BatchResult result = system.simulate_batch(opts);
+
+    if (threads == 1) {
+      reference_cycles = result.total_cycles;
+      reference_ips = result.inferences_per_second();
+    } else if (result.total_cycles != reference_cycles) {
+      std::cerr << "FATAL: aggregate cycles diverged across thread "
+                   "counts ("
+                << result.total_cycles << " vs " << reference_cycles
+                << ")\n";
+      return 1;
+    }
+    // Guard the ratio: a sub-tick wall time reports 0 inf/s.
+    const double speedup =
+        reference_ips > 0.0
+            ? result.inferences_per_second() / reference_ips
+            : 1.0;
+    table.add_row({std::to_string(result.num_threads),
+                   std::to_string(result.num_inferences),
+                   Cell{result.wall_seconds, 2},
+                   Cell{result.inferences_per_second(), 1},
+                   Cell{result.cycles_per_inference(), 0},
+                   Cell{speedup, 2}});
+  }
+  table.print(std::cout);
+  std::cout << "(speedup is bounded by physical cores; aggregate cycle "
+               "counts verified identical across thread counts)\n";
+  return 0;
+}

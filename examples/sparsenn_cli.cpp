@@ -6,16 +6,20 @@
 //   sparsenn_cli eval     --model model.bin [--variant v]
 //   sparsenn_cli simulate --model model.bin [--variant v] [--samples n]
 //                         [--uv on|off|both] [--trace trace.csv]
+//   sparsenn_cli batch    --model model.bin [--variant v] [--samples n]
+//                         [--threads t] [--uv on|off]
 //   sparsenn_cli info     [--model model.bin]
 //
 // `train` produces a serialized model; `eval` reports float and
 // quantised TER; `simulate` deploys it on the cycle-accurate 64-PE
-// model; `info` prints the architecture configuration (and, with a
-// model, its topology).
+// model; `batch` shards a test batch across worker threads (each with
+// a private simulator) and reports aggregate throughput; `info` prints
+// the architecture configuration (and, with a model, its topology).
 
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <stdexcept>
 #include <string>
 
 #include "arch/area.hpp"
@@ -25,11 +29,17 @@
 #include "nn/serialize.hpp"
 #include "nn/trainer.hpp"
 #include "sim/accelerator.hpp"
+#include "sim/batch_runner.hpp"
 #include "sim/trace.hpp"
 
 namespace {
 
 using namespace sparsenn;
+
+/// Malformed command-line input (exit code 2, like usage()).
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 /// Minimal --key value argument parser.
 class Args {
@@ -48,9 +58,22 @@ class Args {
   }
   std::size_t get_size(const std::string& key, std::size_t dflt) const {
     const auto it = values_.find(key);
-    return it == values_.end()
-               ? dflt
-               : static_cast<std::size_t>(std::stoul(it->second));
+    if (it == values_.end()) return dflt;
+    // std::stoul alone silently wraps negatives to SIZE_MAX and
+    // accepts trailing junk; reject both with a usable message.
+    std::size_t consumed = 0;
+    unsigned long value = 0;
+    try {
+      value = std::stoul(it->second, &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    if (it->second.empty() || consumed != it->second.size() ||
+        it->second.find('-') != std::string::npos) {
+      throw UsageError("--" + key + " expects a non-negative integer, got '" +
+                       it->second + "'");
+    }
+    return static_cast<std::size_t>(value);
   }
 
  private:
@@ -74,6 +97,21 @@ DatasetSplit make_split(const Args& args) {
   data.train_size = args.get_size("train-size", 3000);
   data.test_size = args.get_size("test-size", 600);
   return make_dataset(parse_variant(args.get("variant", "basic")), data);
+}
+
+/// The deployment preamble shared by eval/simulate/batch: load the
+/// model, regenerate its dataset, quantise on the training split.
+struct LoadedModel {
+  Network net;
+  DatasetSplit split;
+  QuantizedNetwork quantized;
+};
+
+LoadedModel load_model(const Args& args) {
+  Network net = load_network(args.get("model", "model.bin"));
+  DatasetSplit split = make_split(args);
+  QuantizedNetwork quantized(net, split.train.inputs);
+  return {std::move(net), std::move(split), std::move(quantized)};
 }
 
 int cmd_train(const Args& args) {
@@ -107,14 +145,13 @@ int cmd_train(const Args& args) {
 }
 
 int cmd_eval(const Args& args) {
-  const Network net = load_network(args.get("model", "model.bin"));
-  const DatasetSplit split = make_split(args);
-  const EvalResult eval = evaluate(net, split.test);
-  const QuantizedNetwork quantized(net, split.train.inputs);
+  const LoadedModel model = load_model(args);
+  const DatasetSplit& split = model.split;
+  const EvalResult eval = evaluate(model.net, split.test);
   std::cout << "float TER     " << eval.test_error_rate << "%\n"
             << "quantised TER "
-            << quantized.test_error_rate(split.test.inputs,
-                                         split.test.labels)
+            << model.quantized.test_error_rate(split.test.inputs,
+                                               split.test.labels)
             << "%\n";
   for (std::size_t l = 0; l < eval.predicted_sparsity.size(); ++l)
     std::cout << "rho(" << l + 1 << ") = " << eval.predicted_sparsity[l]
@@ -123,9 +160,9 @@ int cmd_eval(const Args& args) {
 }
 
 int cmd_simulate(const Args& args) {
-  const Network net = load_network(args.get("model", "model.bin"));
-  const DatasetSplit split = make_split(args);
-  const QuantizedNetwork quantized(net, split.train.inputs);
+  const LoadedModel model = load_model(args);
+  const DatasetSplit& split = model.split;
+  const QuantizedNetwork& quantized = model.quantized;
 
   AcceleratorSim sim(ArchParams::paper());
   TraceLog log;
@@ -162,6 +199,47 @@ int cmd_simulate(const Args& args) {
   return 0;
 }
 
+int cmd_batch(const Args& args) {
+  // Validate arguments before the expensive model load / dataset
+  // regeneration / quantisation steps.
+  const std::string uv = args.get("uv", "on");
+  if (uv != "on" && uv != "off") {
+    std::cerr << "error: batch takes --uv on|off (one mode per run), got '"
+              << uv << "'\n";
+    return 2;
+  }
+  BatchOptions options;
+  options.num_threads = args.get_size("threads", 0);
+  options.max_samples = args.get_size("samples", 64);
+  options.use_predictor = uv == "on";
+  options.keep_results = false;  // aggregate stats only
+
+  const LoadedModel model = load_model(args);
+  const BatchRunner runner(ArchParams::paper(), options);
+  const BatchResult result = runner.run(model.quantized, model.split.test);
+  if (result.num_inferences == 0) {
+    std::cerr << "error: the test split is empty, nothing to simulate\n";
+    return 1;
+  }
+  const EnergyModel energy{ArchParams::paper()};
+  const EnergyReport report = energy.report(result.total_events);
+  const auto n = static_cast<double>(result.num_inferences);
+
+  std::cout << "Batched " << result.num_inferences << " inferences ("
+            << (options.use_predictor ? "uv_on" : "uv_off") << ") across "
+            << result.num_threads << " worker thread(s) in "
+            << result.wall_seconds << "s\n";
+  Table table({"threads", "inf/s", "cycles/inf", "mean uJ/inf",
+               "quantised TER(%)"});
+  table.add_row({std::to_string(result.num_threads),
+                 Cell{result.inferences_per_second(), 1},
+                 Cell{result.cycles_per_inference(), 0},
+                 Cell{report.total_uj / n, 2},
+                 Cell{result.error_rate_percent, 2}});
+  table.print(std::cout);
+  return 0;
+}
+
 int cmd_info(const Args& args) {
   const ArchParams params = ArchParams::paper();
   const AreaBreakdown area = compute_area(params);
@@ -191,7 +269,7 @@ int cmd_info(const Args& args) {
 }
 
 int usage() {
-  std::cerr << "usage: sparsenn_cli {train|eval|simulate|info} "
+  std::cerr << "usage: sparsenn_cli {train|eval|simulate|batch|info} "
                "[--key value ...]\n"
                "see the header of examples/sparsenn_cli.cpp\n";
   return 2;
@@ -207,7 +285,11 @@ int main(int argc, char** argv) {
     if (command == "train") return cmd_train(args);
     if (command == "eval") return cmd_eval(args);
     if (command == "simulate") return cmd_simulate(args);
+    if (command == "batch") return cmd_batch(args);
     if (command == "info") return cmd_info(args);
+  } catch (const UsageError& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 2;
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;

@@ -34,6 +34,7 @@ struct EventCounts {
   std::uint64_t pe_active_cycles = 0;  ///< Σ over PEs of busy cycles
 
   EventCounts& operator+=(const EventCounts& other) noexcept;
+  friend bool operator==(const EventCounts&, const EventCounts&) = default;
 };
 
 /// Per-event dynamic energies in pJ (65nm reference; scaled by the

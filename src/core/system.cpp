@@ -56,6 +56,12 @@ SimResult System::simulate(std::size_t test_index, bool use_predictor) {
                    use_predictor);
 }
 
+BatchResult System::simulate_batch(const BatchOptions& options) const {
+  expects(prepared(), "call prepare() first");
+  const BatchRunner runner(options_.arch, options);
+  return runner.run(*quantized_, split_->test);
+}
+
 HardwareComparison System::compare_hardware(std::size_t samples) {
   expects(prepared(), "call prepare() first");
   samples = std::min(samples, split_->test.size());

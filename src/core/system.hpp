@@ -22,6 +22,7 @@
 #include "nn/quantized.hpp"
 #include "nn/trainer.hpp"
 #include "sim/accelerator.hpp"
+#include "sim/batch_runner.hpp"
 
 namespace sparsenn {
 
@@ -69,6 +70,11 @@ class System {
 
   /// Cycle-accurate inference of one test sample.
   SimResult simulate(std::size_t test_index, bool use_predictor);
+
+  /// Multi-threaded batched inference over the test split (see
+  /// sim/batch_runner.hpp). Results are deterministic in the thread
+  /// count.
+  BatchResult simulate_batch(const BatchOptions& options) const;
 
   /// Measures mean per-hidden-layer cycles and power with the predictor
   /// on and off over the first `samples` test images (Fig. 7).

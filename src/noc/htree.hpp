@@ -32,6 +32,8 @@ struct NocStats {
   std::uint64_t credit_stalls = 0;
   double mean_leaf_occupancy = 0.0;
   std::uint64_t root_flits = 0;         ///< flits that reached the root
+
+  friend bool operator==(const NocStats&, const NocStats&) = default;
 };
 
 /// PE-to-root half of the H-tree.

@@ -43,6 +43,9 @@ struct LayerSimResult {
   std::vector<std::int16_t> activations;  ///< produced layer output
   std::size_t nnz_inputs = 0;   ///< nonzero input activations
   std::size_t active_rows = 0;  ///< rows actually computed
+
+  friend bool operator==(const LayerSimResult&,
+                         const LayerSimResult&) = default;
 };
 
 /// Whole-inference results.
@@ -52,6 +55,8 @@ struct SimResult {
   std::uint64_t total_cycles = 0;
 
   EventCounts total_events() const;
+
+  friend bool operator==(const SimResult&, const SimResult&) = default;
 };
 
 class AcceleratorSim {

@@ -1,0 +1,79 @@
+#pragma once
+// Multi-threaded batched-inference driver.
+//
+// BatchRunner shards a set of inputs across N worker threads, each
+// owning a private AcceleratorSim — the simulator is stateful (per-PE
+// register files, event counters), so instances cannot be shared.
+// Work is handed out through an atomic cursor, every inference writes
+// its SimResult into a preallocated slot indexed by input, and
+// aggregation happens after the join in input order. The merged
+// totals are therefore bit-identical regardless of thread count or OS
+// scheduling: integer sums over a fixed sequence do not depend on
+// which worker produced each element.
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/energy.hpp"
+#include "arch/params.hpp"
+#include "data/dataset.hpp"
+#include "nn/quantized.hpp"
+#include "sim/accelerator.hpp"
+
+namespace sparsenn {
+
+struct BatchOptions {
+  std::size_t num_threads = 0;  ///< 0 = std::thread::hardware_concurrency()
+  bool use_predictor = true;    ///< uv_on (paper) vs uv_off (EIE baseline)
+  std::size_t max_samples = 0;  ///< 0 = the whole dataset
+  bool keep_results = true;     ///< retain the per-input SimResults
+};
+
+/// Aggregate per-layer totals over the whole batch (exact integer sums).
+struct LayerBatchTotals {
+  std::uint64_t v_cycles = 0;
+  std::uint64_t u_cycles = 0;
+  std::uint64_t w_cycles = 0;
+  std::uint64_t total_cycles = 0;
+  std::uint64_t nnz_inputs = 0;
+  std::uint64_t active_rows = 0;
+  EventCounts events;
+
+  LayerBatchTotals& operator+=(const LayerSimResult& layer) noexcept;
+  LayerBatchTotals& operator+=(const LayerBatchTotals& other) noexcept;
+};
+
+struct BatchResult {
+  /// Per-input results in dataset order; empty when !keep_results.
+  std::vector<SimResult> results;
+  std::vector<LayerBatchTotals> layers;
+  EventCounts total_events;
+  std::uint64_t total_cycles = 0;
+  std::size_t num_inferences = 0;
+  std::size_t num_threads = 0;   ///< workers actually used
+  double wall_seconds = 0.0;
+  /// Classification error over the batch (percent); -1 when the
+  /// dataset carries no labels.
+  double error_rate_percent = -1.0;
+
+  double inferences_per_second() const noexcept;
+  double cycles_per_inference() const noexcept;
+};
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(const ArchParams& params, BatchOptions options = {});
+
+  const BatchOptions& options() const noexcept { return options_; }
+
+  /// Runs the first min(max_samples, data.size()) test images through
+  /// the accelerator. Worker exceptions (e.g. a golden-model
+  /// divergence) abort the batch and rethrow on the calling thread.
+  BatchResult run(const QuantizedNetwork& network, const Dataset& data) const;
+
+ private:
+  ArchParams params_;
+  BatchOptions options_;
+};
+
+}  // namespace sparsenn

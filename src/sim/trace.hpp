@@ -22,6 +22,8 @@ struct TraceRecord {
   std::uint64_t macs = 0;
   std::size_t nnz_inputs = 0;
   std::size_t active_rows = 0;
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
 };
 
 /// Append-only trace log. Not thread-safe; one per simulator.

@@ -81,9 +81,10 @@ TEST_P(NocFuzz, ConservationOrderAndDrain) {
       ++count;
       // Per-source FIFO order must survive arbitrary arbitration.
       const auto it = last_index_from.find(out->source);
-      if (it != last_index_from.end())
+      if (it != last_index_from.end()) {
         EXPECT_GT(out->index, it->second)
             << "PE " << out->source << " flits reordered";
+      }
       last_index_from[out->source] = out->index;
     }
   }

@@ -1,0 +1,40 @@
+#pragma once
+// Shared fixtures for the simulator test suites (sim_test,
+// batch_runner_test, determinism_test): the reduced 16-PE architecture
+// and the seeded three-hidden-layer network they all exercise.
+
+#include <cstddef>
+
+#include "arch/params.hpp"
+#include "common/rng.hpp"
+#include "nn/quantized.hpp"
+
+namespace sparsenn::test_fixtures {
+
+/// Reduced 16-PE configuration — fast, but still multi-level NoC.
+inline ArchParams tiny_arch() {
+  ArchParams p;
+  p.num_pes = 16;
+  p.router_levels = 2;
+  p.w_mem_kb_per_pe = 16;
+  p.u_mem_kb_per_pe = 4;
+  p.v_mem_kb_per_pe = 4;
+  p.act_regs_per_pe = 16;
+  return p;
+}
+
+/// A small quantised {24, 20, 18, 6} network with two random
+/// predictors. All randomness is drawn from the caller's rng, so the
+/// caller can keep consuming the same stream afterwards (inputs,
+/// labels) and the whole pipeline stays a pure function of the seed.
+inline QuantizedNetwork seeded_network(Rng& rng) {
+  Network net{{24, 20, 18, 6}, rng};
+  net.set_predictor(0, Predictor::random(20, 24, 4, rng));
+  net.set_predictor(1, Predictor::random(18, 20, 4, rng));
+  Matrix calib(4, 24);
+  for (std::size_t i = 0; i < calib.size(); ++i)
+    calib.flat()[i] = static_cast<float>(rng.uniform(0.0, 1.0));
+  return QuantizedNetwork(net, calib);
+}
+
+}  // namespace sparsenn::test_fixtures

@@ -9,20 +9,12 @@
 #include "sim/accelerator.hpp"
 #include "sim/schedule.hpp"
 #include "sim/simd_platform.hpp"
+#include "sim_fixtures.hpp"
 
 namespace sparsenn {
 namespace {
 
-ArchParams tiny_arch() {
-  ArchParams p;
-  p.num_pes = 16;
-  p.router_levels = 2;
-  p.w_mem_kb_per_pe = 16;
-  p.u_mem_kb_per_pe = 4;
-  p.v_mem_kb_per_pe = 4;
-  p.act_regs_per_pe = 16;
-  return p;
-}
+using test_fixtures::tiny_arch;
 
 TEST(Schedule, RowsForPePartitionsAllRows) {
   const std::size_t num_rows = 37;
