@@ -1,0 +1,212 @@
+// sim_throughput — measures the compiled-engine speedup and emits the
+// numbers as JSON for the performance trajectory.
+//
+//   ./sim_throughput [--samples n] [--hidden h] [--uv on|off]
+//                    [--json-out path]
+//
+// Two engines run the same inputs through the same AcceleratorSim:
+//
+//   "per_inference" — the seed engine's work profile: the network's
+//     per-PE slices are rebuilt for every inference and every layer is
+//     cross-checked against the functional golden model
+//     (AcceleratorSim::run(network, ...));
+//
+//   "compiled" — the network is compiled once (CompiledNetwork), the
+//     first inference runs with ValidationMode::kFull, and the rest
+//     run with validation off.
+//
+// The bench asserts the two engines' SimResults are bit-identical
+// before reporting, and counts heap allocations (via a global
+// operator new hook) to document the zero-allocation steady state of
+// the compiled cycle loop.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli_args.hpp"
+#include "common/rng.hpp"
+#include "nn/network.hpp"
+#include "nn/predictor.hpp"
+#include "nn/quantized.hpp"
+#include "nn/trainer.hpp"
+#include "sim/accelerator.hpp"
+#include "sim/compiled_network.hpp"
+
+// ---- allocation counter ----------------------------------------------
+// Counts every global operator new in this binary; the compiled engine
+// should allocate O(layers) per inference (result vectors), not
+// O(cycles).
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocs;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace sparsenn;
+
+struct EngineStats {
+  double wall_seconds = 0.0;
+  std::uint64_t cycles = 0;
+  std::uint64_t allocs = 0;
+  std::size_t samples = 0;
+
+  double inferences_per_sec() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(samples) / wall_seconds
+               : 0.0;
+  }
+  double cycles_per_sec() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(cycles) / wall_seconds
+               : 0.0;
+  }
+  double allocs_per_inference() const {
+    return samples > 0
+               ? static_cast<double>(allocs) / static_cast<double>(samples)
+               : 0.0;
+  }
+};
+
+void print_engine(std::ostream& os, const char* name, const EngineStats& s) {
+  os << "  \"" << name << "\": {"
+     << "\"wall_seconds\": " << s.wall_seconds
+     << ", \"inferences_per_sec\": " << s.inferences_per_sec()
+     << ", \"cycles_simulated_per_sec\": " << s.cycles_per_sec()
+     << ", \"cycles_simulated\": " << s.cycles
+     << ", \"allocs_per_inference\": " << s.allocs_per_inference() << "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv, 1);
+    const std::size_t samples = args.get_size("samples", 32);
+    const std::size_t hidden = args.get_size("hidden", 256);
+    const bool use_predictor = args.get("uv", "on") != "off";
+    const std::string json_out = args.get("json-out", "");
+
+    // The default 5-layer configuration {784, h, h, h, 10} with random
+    // weights and rank-15 predictors on the hidden layers; throughput
+    // does not depend on trained accuracy.
+    Rng rng{42};
+    Network net{five_layer_topology(hidden), rng};
+    for (std::size_t l = 0; l < net.num_hidden_layers(); ++l) {
+      const auto sizes = net.layer_sizes();
+      net.set_predictor(
+          l, Predictor::random(sizes[l + 1], sizes[l], 15, rng));
+    }
+    Matrix calib(8, 784);
+    for (std::size_t i = 0; i < calib.size(); ++i)
+      calib.flat()[i] = static_cast<float>(rng.uniform(0.0, 1.0));
+    const QuantizedNetwork quantized(net, calib);
+
+    std::vector<Vector> inputs(samples, Vector(784, 0.0f));
+    for (Vector& x : inputs)
+      for (float& v : x)
+        v = rng.bernoulli(0.6) ? 0.0f
+                               : static_cast<float>(rng.uniform(0.0, 1.0));
+
+    const ArchParams arch = ArchParams::paper();
+    AcceleratorSim sim(arch);
+    using clock = std::chrono::steady_clock;
+
+    // ---- per-inference engine (seed behaviour) ----
+    std::vector<SimResult> reference;
+    reference.reserve(samples);
+    EngineStats per_inference;
+    {
+      const std::uint64_t allocs_before = g_allocs.load();
+      const auto start = clock::now();
+      for (const Vector& x : inputs)
+        reference.push_back(sim.run(quantized, x, use_predictor));
+      per_inference.wall_seconds =
+          std::chrono::duration<double>(clock::now() - start).count();
+      per_inference.allocs = g_allocs.load() - allocs_before;
+      per_inference.samples = samples;
+      for (const SimResult& r : reference)
+        per_inference.cycles += r.total_cycles;
+    }
+
+    // ---- compiled engine ----
+    EngineStats compiled_stats;
+    bool identical = true;
+    {
+      const CompiledNetwork compiled(quantized, arch, use_predictor);
+      // Warm-up inference (validated) so the measured loop shows the
+      // steady state; its result is checked but not timed.
+      identical =
+          sim.run(compiled, inputs[0], ValidationMode::kFull) ==
+          reference[0];
+      const std::uint64_t allocs_before = g_allocs.load();
+      const auto start = clock::now();
+      for (std::size_t i = 0; i < samples; ++i) {
+        const SimResult r =
+            sim.run(compiled, inputs[i], ValidationMode::kOff);
+        compiled_stats.cycles += r.total_cycles;
+        identical = identical && r == reference[i];
+      }
+      compiled_stats.wall_seconds =
+          std::chrono::duration<double>(clock::now() - start).count();
+      compiled_stats.allocs = g_allocs.load() - allocs_before;
+      compiled_stats.samples = samples;
+    }
+
+    const double speedup =
+        per_inference.wall_seconds > 0.0 && compiled_stats.wall_seconds > 0.0
+            ? per_inference.wall_seconds / compiled_stats.wall_seconds
+            : 0.0;
+
+    std::string json;
+    {
+      std::ostringstream os;
+      os << "{\n  \"samples\": " << samples << ",\n  \"hidden\": " << hidden
+         << ",\n  \"uv\": \"" << (use_predictor ? "on" : "off") << "\",\n";
+      print_engine(os, "per_inference", per_inference);
+      os << ",\n";
+      print_engine(os, "compiled", compiled_stats);
+      os << ",\n  \"speedup\": " << speedup
+         << ",\n  \"bit_identical\": " << (identical ? "true" : "false")
+         << "\n}\n";
+      json = os.str();
+    }
+    std::cout << json;
+    if (!json_out.empty()) {
+      std::ofstream out(json_out);
+      out << json;
+      std::cout << "# written to " << json_out << "\n";
+    }
+    if (!identical) {
+      std::cerr << "error: compiled engine diverged from the "
+                   "per-inference engine\n";
+      return 1;
+    }
+    return 0;
+  } catch (const sparsenn::UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -18,11 +18,11 @@
 
 #include <cstdlib>
 #include <iostream>
-#include <map>
 #include <stdexcept>
 #include <string>
 
 #include "arch/area.hpp"
+#include "common/cli_args.hpp"
 #include "common/table.hpp"
 #include "data/dataset.hpp"
 #include "nn/quantized.hpp"
@@ -30,55 +30,16 @@
 #include "nn/trainer.hpp"
 #include "sim/accelerator.hpp"
 #include "sim/batch_runner.hpp"
+#include "sim/compiled_network.hpp"
 #include "sim/trace.hpp"
 
 namespace {
 
 using namespace sparsenn;
 
-/// Malformed command-line input (exit code 2, like usage()).
-struct UsageError : std::runtime_error {
-  using std::runtime_error::runtime_error;
-};
-
-/// Minimal --key value argument parser.
-class Args {
- public:
-  Args(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
-      std::string key = argv[i];
-      if (key.rfind("--", 0) == 0) key = key.substr(2);
-      values_[key] = argv[i + 1];
-    }
-  }
-
-  std::string get(const std::string& key, const std::string& dflt) const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? dflt : it->second;
-  }
-  std::size_t get_size(const std::string& key, std::size_t dflt) const {
-    const auto it = values_.find(key);
-    if (it == values_.end()) return dflt;
-    // std::stoul alone silently wraps negatives to SIZE_MAX and
-    // accepts trailing junk; reject both with a usable message.
-    std::size_t consumed = 0;
-    unsigned long value = 0;
-    try {
-      value = std::stoul(it->second, &consumed);
-    } catch (const std::exception&) {
-      consumed = 0;
-    }
-    if (it->second.empty() || consumed != it->second.size() ||
-        it->second.find('-') != std::string::npos) {
-      throw UsageError("--" + key + " expects a non-negative integer, got '" +
-                       it->second + "'");
-    }
-    return static_cast<std::size_t>(value);
-  }
-
- private:
-  std::map<std::string, std::string> values_;
-};
+/// `--key value` parser (src/common/cli_args.hpp): a trailing flag
+/// with no value is a UsageError → exit 2, not a silent default.
+using Args = CliArgs;
 
 DatasetVariant parse_variant(const std::string& name) {
   if (name == "rot") return DatasetVariant::kRot;
@@ -171,17 +132,24 @@ int cmd_simulate(const Args& args) {
 
   const std::size_t samples =
       std::min(args.get_size("samples", 3), split.test.size());
+  if (samples == 0) {
+    std::cerr << "error: the test split is empty, nothing to simulate\n";
+    return 1;
+  }
   const std::string uv = args.get("uv", "both");
   const EnergyModel energy{ArchParams::paper()};
 
   Table table({"mode", "mean cycles", "mean power(mW)", "mean uJ"});
   for (const bool on : {true, false}) {
     if ((on && uv == "off") || (!on && uv == "on")) continue;
+    // Compile once per uv mode; single runs keep the golden-model
+    // cross-check on (ValidationMode::kFull is the default).
+    const CompiledNetwork compiled(quantized, ArchParams::paper(), on);
     double cycles = 0.0;
     double mw = 0.0;
     double uj = 0.0;
     for (std::size_t i = 0; i < samples; ++i) {
-      const SimResult run = sim.run(quantized, split.test.image(i), on);
+      const SimResult run = sim.run(compiled, split.test.image(i));
       const EnergyReport r = energy.report(run.total_events());
       cycles += static_cast<double>(run.total_cycles);
       mw += r.avg_power_mw;
@@ -280,8 +248,10 @@ int usage() {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
-  const Args args(argc, argv, 2);
   try {
+    // Parse inside the try: a malformed line (e.g. a trailing flag
+    // with no value) is a UsageError → exit 2.
+    const Args args(argc, argv, 2);
     if (command == "train") return cmd_train(args);
     if (command == "eval") return cmd_eval(args);
     if (command == "simulate") return cmd_simulate(args);

@@ -1,0 +1,42 @@
+#pragma once
+// Minimal `--key value` command-line parser shared by the CLI and the
+// benches. Parsing is strict where silence used to lose input: a
+// trailing flag with no value (e.g. `--samples` at the end of the
+// line) is a UsageError instead of silently falling back to the
+// default, and numeric values reject negatives and trailing junk.
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace sparsenn {
+
+/// Malformed command-line input. Callers report it and exit 2, the
+/// conventional usage-error status.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class CliArgs {
+ public:
+  /// Parses `--key value` pairs from argv[first..). A flag without a
+  /// following value throws UsageError.
+  CliArgs(int argc, const char* const* argv, int first);
+
+  /// The raw value of --key, or `dflt` when absent.
+  std::string get(const std::string& key, const std::string& dflt) const;
+
+  /// --key as a non-negative integer; UsageError on empty, negative or
+  /// non-numeric values (std::stoul alone would wrap or truncate).
+  std::size_t get_size(const std::string& key, std::size_t dflt) const;
+
+  bool has(const std::string& key) const {
+    return values_.find(key) != values_.end();
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace sparsenn

@@ -1,0 +1,57 @@
+#pragma once
+// Fixed-capacity FIFO over a flat vector. The simulator's small
+// hardware queues (router port buffers, PE activation queues) push and
+// pop once per cycle; a std::deque would touch the heap every few
+// dozen operations as its chunk iterator marches forward, while this
+// ring never allocates after capacity is set. Bounds discipline is the
+// caller's: push on full / front on empty are preconditions the owning
+// component checks (they model flow-control contracts it must enforce
+// anyway).
+
+#include <cstddef>
+#include <vector>
+
+namespace sparsenn {
+
+template <typename T>
+class RingBuffer {
+ public:
+  RingBuffer() = default;
+  explicit RingBuffer(std::size_t capacity) : slots_(capacity) {}
+
+  /// (Re)sizes the ring and empties it.
+  void assign_capacity(std::size_t capacity) {
+    slots_.assign(capacity, T{});
+    head_ = 0;
+    count_ = 0;
+  }
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+  std::size_t size() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+  bool full() const noexcept { return count_ >= slots_.size(); }
+
+  const T& front() const noexcept { return slots_[head_]; }
+
+  void push_back(const T& value) noexcept {
+    slots_[(head_ + count_) % slots_.size()] = value;
+    ++count_;
+  }
+
+  void pop_front() noexcept {
+    head_ = (head_ + 1) % slots_.size();
+    --count_;
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace sparsenn

@@ -58,6 +58,8 @@ SimResult System::simulate(std::size_t test_index, bool use_predictor) {
 
 BatchResult System::simulate_batch(const BatchOptions& options) const {
   expects(prepared(), "call prepare() first");
+  // BatchRunner compiles the network's per-PE slice image once and
+  // shares it read-only across its workers (sim/compiled_network.hpp).
   const BatchRunner runner(options_.arch, options);
   return runner.run(*quantized_, split_->test);
 }
@@ -92,9 +94,17 @@ HardwareComparison System::compare_hardware(std::size_t samples) {
     }
   };
 
+  // Compile each uv mode once for the whole sweep; the first sample
+  // runs with the golden cross-check, the rest trust the engine
+  // (results are bit-identical either way).
+  const CompiledNetwork compiled_on(*quantized_, options_.arch, true);
+  const CompiledNetwork compiled_off(*quantized_, options_.arch, false);
   for (std::size_t i = 0; i < samples; ++i) {
-    absorb(out.uv_on, simulate(i, /*use_predictor=*/true));
-    absorb(out.uv_off, simulate(i, /*use_predictor=*/false));
+    const ValidationMode mode =
+        i == 0 ? ValidationMode::kFull : ValidationMode::kOff;
+    absorb(out.uv_on, sim_->run(compiled_on, split_->test.image(i), mode));
+    absorb(out.uv_off,
+           sim_->run(compiled_off, split_->test.image(i), mode));
   }
 
   const auto finish = [&](std::vector<LayerHardwareCost>& dest) {

@@ -40,6 +40,18 @@ UpwardTree::UpwardTree(const ArchParams& params, RouterMode mode)
     ensures(routers % radix_ == 0, "router tier does not tile");
     routers /= radix_;
   }
+
+  outputs_scratch_.resize(levels_.size());
+  for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl)
+    outputs_scratch_[lvl].resize(levels_[lvl].size());
+}
+
+void UpwardTree::reset() {
+  for (auto& tier : levels_)
+    for (Router& router : tier) router.reset();
+  for (auto& tier : outputs_scratch_)
+    for (auto& out : tier) out.reset();
+  buffered_total_ = 0;
 }
 
 bool UpwardTree::can_inject(std::size_t pe) const {
@@ -50,6 +62,7 @@ bool UpwardTree::can_inject(std::size_t pe) const {
 void UpwardTree::inject(std::size_t pe, const Flit& flit) {
   expects(pe < num_pes_, "PE id out of range");
   levels_.front()[pe / radix_].push(pe % radix_, flit);
+  ++buffered_total_;
 }
 
 void UpwardTree::close_injector(std::size_t pe) {
@@ -59,11 +72,11 @@ void UpwardTree::close_injector(std::size_t pe) {
 
 std::optional<Flit> UpwardTree::step(bool root_ready) {
   // Two-phase update: every router decides on begin-of-cycle state,
-  // then transfers commit, so a hop takes exactly one cycle.
-  std::vector<std::vector<std::optional<Flit>>> outputs(levels_.size());
+  // then transfers commit, so a hop takes exactly one cycle. The
+  // decisions land in scratch buffers preallocated at construction.
+  auto& outputs = outputs_scratch_;
   for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {
     auto& tier = levels_[lvl];
-    outputs[lvl].resize(tier.size());
     const bool is_root = (lvl + 1 == levels_.size());
     for (std::size_t i = 0; i < tier.size(); ++i) {
       const bool parent_ready =
@@ -93,16 +106,17 @@ std::optional<Flit> UpwardTree::step(bool root_ready) {
     }
   }
 
-  for (auto& tier : levels_)
-    for (auto& router : tier) router.commit();
+  // Re-derive the buffered total inside the commit pass; each router's
+  // own count is maintained O(1), so idle() stays a single comparison.
+  std::size_t buffered = 0;
+  for (auto& tier : levels_) {
+    for (Router& router : tier) {
+      router.commit();
+      buffered += router.buffered();
+    }
+  }
+  buffered_total_ = buffered;
   return outputs.back().front();
-}
-
-bool UpwardTree::idle() const {
-  for (const auto& tier : levels_)
-    for (const auto& router : tier)
-      if (!router.idle()) return false;
-  return true;
 }
 
 NocStats UpwardTree::stats() const {
@@ -132,9 +146,13 @@ void BroadcastChannel::send(const Flit& flit) {
 
 std::optional<Flit> BroadcastChannel::step() {
   ++now_;
-  if (!in_flight_.empty() && in_flight_.front().deliver_at <= now_) {
-    const Flit f = in_flight_.front().flit;
-    in_flight_.erase(in_flight_.begin());
+  if (head_ < in_flight_.size() &&
+      in_flight_[head_].deliver_at <= now_) {
+    const Flit f = in_flight_[head_].flit;
+    if (++head_ == in_flight_.size()) {  // drained: compact, keep capacity
+      in_flight_.clear();
+      head_ = 0;
+    }
     return f;
   }
   return std::nullopt;

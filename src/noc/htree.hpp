@@ -15,6 +15,12 @@
 // latency (one pipeline hop per level) it is delivered to every PE —
 // subject to the receivers' queue backpressure, which the owner
 // expresses through the `ready` argument.
+//
+// Both halves are built for reuse across phases: step() writes into
+// scratch buffers preallocated at construction (no per-cycle heap
+// allocation), idle() reads a maintained flit count, and reset()
+// returns the structure to its freshly-built state so one tree can
+// serve every layer of every inference.
 
 #include <optional>
 #include <vector>
@@ -57,8 +63,15 @@ class UpwardTree {
   /// root output can take a flit. Returns the flit leaving the root.
   std::optional<Flit> step(bool root_ready);
 
-  /// True when no flit is buffered anywhere in the tree.
-  bool idle() const;
+  /// True when no flit is buffered anywhere in the tree. O(1): the
+  /// total is re-derived from the routers' maintained counts inside
+  /// step()'s existing commit pass.
+  bool idle() const noexcept { return buffered_total_ == 0; }
+
+  /// Empties every router, reopens all injectors and zeroes the phase
+  /// statistics — bit-identical to constructing a fresh tree, without
+  /// the allocations.
+  void reset();
 
   NocStats stats() const;
 
@@ -70,6 +83,9 @@ class UpwardTree {
   std::size_t num_pes_;
   /// levels_[0] are the leaf routers; levels_.back() is {root}.
   std::vector<std::vector<Router>> levels_;
+  /// Per-level output decisions, reused every cycle by step().
+  std::vector<std::vector<std::optional<Flit>>> outputs_scratch_;
+  std::size_t buffered_total_ = 0;  ///< flits sitting in any router
 };
 
 /// Root-to-PEs pipelined multicast with fixed per-level latency.
@@ -86,8 +102,18 @@ class BroadcastChannel {
   /// checked receiver backpressure before send()).
   std::optional<Flit> step();
 
-  bool idle() const noexcept { return in_flight_.empty(); }
-  std::size_t in_flight() const noexcept { return in_flight_.size(); }
+  bool idle() const noexcept { return head_ == in_flight_.size(); }
+  std::size_t in_flight() const noexcept {
+    return in_flight_.size() - head_;
+  }
+
+  /// Drops any in-flight flits and rewinds the clock; the backing
+  /// storage (grown to the busiest phase so far) is kept.
+  void reset() noexcept {
+    in_flight_.clear();
+    head_ = 0;
+    now_ = 0;
+  }
 
  private:
   struct Timed {
@@ -96,7 +122,11 @@ class BroadcastChannel {
   };
   std::size_t latency_;
   std::uint64_t now_ = 0;
-  std::vector<Timed> in_flight_;  ///< FIFO by construction
+  /// FIFO by construction: consumed entries advance head_; the vector
+  /// is compacted (capacity kept) whenever it drains, so steady-state
+  /// operation never reallocates.
+  std::vector<Timed> in_flight_;
+  std::size_t head_ = 0;
 };
 
 }  // namespace sparsenn

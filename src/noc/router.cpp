@@ -14,6 +14,24 @@ Router::Router(std::size_t radix, std::size_t buffer_depth,
       mode_(mode) {
   expects(radix > 0, "router radix must be positive");
   expects(buffer_depth > 0, "router buffer depth must be positive");
+  for (Port& p : inputs_) {
+    p.buffer.assign_capacity(buffer_depth_);
+    p.pending_credits.reserve(buffer_depth_);
+  }
+}
+
+void Router::reset() {
+  for (Port& p : inputs_) {
+    p.buffer.clear();
+    p.closed = false;
+    p.pending_credits.clear();
+  }
+  stats_ = RouterStats{};
+  now_ = 0;
+  buffered_ = 0;
+  granted_port_.reset();
+  granted_all_ = false;
+  granted_row_cache_ = 0;
 }
 
 bool Router::can_accept(std::size_t port) const {
@@ -29,9 +47,10 @@ bool Router::can_accept(std::size_t port) const {
 
 void Router::push(std::size_t port, const Flit& flit) {
   expects(port < inputs_.size(), "router port out of range");
-  ensures(inputs_[port].buffer.size() < buffer_depth_,
+  ensures(!inputs_[port].buffer.full(),
           "router buffer overflow (credit protocol violated)");
   inputs_[port].buffer.push_back(flit);
+  ++buffered_;
 }
 
 void Router::set_port_closed(std::size_t port, bool closed) {
@@ -45,9 +64,8 @@ std::optional<Flit> Router::arbitrate() {
   for (std::size_t i = 0; i < inputs_.size(); ++i) {
     if (inputs_[i].buffer.empty()) continue;
     ++candidates;
-    if (!winner ||
-        inputs_[i].buffer.front().index <
-            inputs_[*winner].buffer.front().index) {
+    if (!winner || inputs_[i].buffer.front().index <
+                       inputs_[*winner].buffer.front().index) {
       winner = i;
     }
   }
@@ -116,6 +134,7 @@ void Router::commit() {
   if (granted_port_) {
     Port& p = inputs_[*granted_port_];
     p.buffer.pop_front();
+    --buffered_;
     p.pending_credits.push_back(now_ + credit_latency_);
     ++stats_.flits_forwarded;
     ++stats_.busy_cycles;
@@ -124,6 +143,7 @@ void Router::commit() {
       if (!p.buffer.empty() &&
           p.buffer.front().index == granted_row_cache_) {
         p.buffer.pop_front();
+        --buffered_;
         p.pending_credits.push_back(now_ + credit_latency_);
       }
     }
@@ -133,21 +153,13 @@ void Router::commit() {
   granted_port_.reset();
   granted_all_ = false;
 
-  std::size_t occupancy = 0;
+  stats_.buffer_occupancy_sum += buffered_;
+  ++stats_.cycles;
   for (Port& p : inputs_) {
-    occupancy += p.buffer.size();
     std::erase_if(p.pending_credits,
                   [this](std::size_t stamp) { return stamp <= now_; });
   }
-  stats_.buffer_occupancy_sum += occupancy;
-  ++stats_.cycles;
   ++now_;
-}
-
-bool Router::idle() const {
-  for (const Port& p : inputs_)
-    if (!p.buffer.empty()) return false;
-  return true;
 }
 
 bool Router::all_closed() const {

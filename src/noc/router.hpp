@@ -17,11 +17,16 @@
 // latency. With buffer depth 1 and credit latency equal to the router
 // pipeline depth this degrades to the unbuffered handshake used by the
 // ablation study.
+//
+// The port buffers are fixed-capacity rings sized at construction and
+// the router never allocates during simulation, so the owning tree can
+// be reset and reused across phases, layers and inferences without
+// touching the heap.
 
-#include <deque>
 #include <optional>
 #include <vector>
 
+#include "common/ring_buffer.hpp"
 #include "noc/flit.hpp"
 
 namespace sparsenn {
@@ -58,17 +63,27 @@ class Router {
   /// Finalises the cycle: retires the granted flit, returns credits.
   void commit();
 
-  /// True when all buffers are empty and nothing is in flight.
-  bool idle() const;
+  /// True when all buffers are empty and nothing is in flight. O(1):
+  /// the buffered-flit count is maintained incrementally.
+  bool idle() const noexcept { return buffered_ == 0; }
+
+  /// Flits currently sitting in the port buffers.
+  std::size_t buffered() const noexcept { return buffered_; }
 
   /// True when every input port has been closed (phase drained).
   bool all_closed() const;
+
+  /// Returns the router to its just-constructed state (empty buffers,
+  /// open ports, zeroed stats and cycle counter) without releasing any
+  /// storage — bit-identical to a freshly built router.
+  void reset();
 
   const RouterStats& stats() const noexcept { return stats_; }
 
  private:
   struct Port {
-    std::deque<Flit> buffer;
+    /// Fixed ring of `buffer_depth_` flits, sized at construction.
+    RingBuffer<Flit> buffer;
     bool closed = false;
     /// Slots freed this cycle whose credit is still travelling back.
     std::vector<std::size_t> pending_credits;  ///< release cycle stamps
@@ -83,6 +98,7 @@ class Router {
   RouterMode mode_;
   RouterStats stats_;
   std::uint64_t now_ = 0;
+  std::size_t buffered_ = 0;                  ///< Σ port counts
   std::optional<std::size_t> granted_port_;   ///< arbitrate winner
   bool granted_all_ = false;                  ///< accumulate fired
   std::uint32_t granted_row_cache_ = 0;       ///< row the ACC fired on

@@ -2,42 +2,45 @@
 // The PE's input activation queue (ActQueue in paper Fig. 5): a small
 // FIFO decoupling NoC delivery from datapath consumption. Its depth is
 // what lets the buffered NoC keep every PE fed one activation per cycle
-// even when consumption rates differ across PEs.
+// even when consumption rates differ across PEs. Backed by a fixed
+// RingBuffer, so the per-cycle push/pop never touches the heap.
 
 #include <cstdint>
-#include <deque>
 
 #include "common/check.hpp"
+#include "common/ring_buffer.hpp"
 #include "noc/flit.hpp"
 
 namespace sparsenn {
 
 class ActQueue {
  public:
-  explicit ActQueue(std::size_t depth) : depth_(depth) {
+  explicit ActQueue(std::size_t depth) : ring_(depth) {
     expects(depth > 0, "activation queue depth must be positive");
   }
 
-  bool full() const noexcept { return fifo_.size() >= depth_; }
-  bool empty() const noexcept { return fifo_.empty(); }
-  std::size_t size() const noexcept { return fifo_.size(); }
-  std::size_t free_slots() const noexcept { return depth_ - fifo_.size(); }
-  std::size_t depth() const noexcept { return depth_; }
+  bool full() const noexcept { return ring_.full(); }
+  bool empty() const noexcept { return ring_.empty(); }
+  std::size_t size() const noexcept { return ring_.size(); }
+  std::size_t free_slots() const noexcept {
+    return ring_.capacity() - ring_.size();
+  }
+  std::size_t depth() const noexcept { return ring_.capacity(); }
 
   void push(const Flit& flit) {
     ensures(!full(), "ActQueue overflow (backpressure violated)");
-    fifo_.push_back(flit);
+    ring_.push_back(flit);
     ++pushes_;
   }
 
   const Flit& front() const {
     expects(!empty(), "ActQueue underflow");
-    return fifo_.front();
+    return ring_.front();
   }
 
   void pop() {
     expects(!empty(), "ActQueue underflow");
-    fifo_.pop_front();
+    ring_.pop_front();
     ++pops_;
   }
 
@@ -45,8 +48,7 @@ class ActQueue {
   std::uint64_t pops() const noexcept { return pops_; }
 
  private:
-  std::size_t depth_;
-  std::deque<Flit> fifo_;
+  RingBuffer<Flit> ring_;
   std::uint64_t pushes_ = 0;
   std::uint64_t pops_ = 0;
 };

@@ -1,9 +1,16 @@
 #pragma once
 // Access-counted local SRAM banks of one PE (the per-PE W/U/V memories
-// of paper Table II). The bank stores 16-bit words row-major and checks
-// the configured capacity — a layer that does not fit the distributed
-// memory is a configuration error the simulator must surface, exactly
-// like exceeding the real chip's 128KB/PE would be.
+// of paper Table II). The bank addresses 16-bit words row-major and
+// checks the configured capacity — a layer that does not fit the
+// distributed memory is a configuration error the simulator must
+// surface, exactly like exceeding the real chip's 128KB/PE would be.
+//
+// The bank is a *view* over externally owned words (normally a
+// CompiledNetwork's packed per-PE slices): loading a layer binds the
+// view instead of copying the slice, which models the weights already
+// resident on chip and removes the dominant per-inference memcpy. The
+// backing storage must outlive the simulation of the loaded layer;
+// read counting is unchanged.
 
 #include <cstdint>
 #include <span>
@@ -23,21 +30,21 @@ class SramBank {
   std::size_t capacity_words() const noexcept { return capacity_words_; }
   std::size_t used_words() const noexcept { return words_.size(); }
 
-  /// Replaces the bank contents (one layer's slice). Throws when the
+  /// Binds the bank to one layer's slice (single row). Throws when the
   /// slice exceeds the physical capacity.
-  void load(std::vector<std::int16_t> words) {
+  void load(std::span<const std::int16_t> words) {
     expects(words.size() <= capacity_words_,
             "layer slice exceeds SRAM capacity");
-    words_ = std::move(words);
+    words_ = words;
     row_stride_ = words_.size();
   }
 
-  /// Loads a rows×stride row-major block.
-  void load_rows(std::vector<std::int16_t> words, std::size_t stride) {
+  /// Binds a rows×stride row-major block.
+  void load_rows(std::span<const std::int16_t> words, std::size_t stride) {
     expects(stride > 0, "row stride must be positive");
     expects(words.size() <= capacity_words_,
             "layer slice exceeds SRAM capacity");
-    words_ = std::move(words);
+    words_ = words;
     row_stride_ = stride;
   }
 
@@ -54,7 +61,7 @@ class SramBank {
   std::span<const std::int16_t> row(std::size_t r) const {
     expects((r + 1) * row_stride_ <= words_.size(),
             "SRAM row out of range");
-    return {words_.data() + r * row_stride_, row_stride_};
+    return words_.subspan(r * row_stride_, row_stride_);
   }
 
   std::size_t num_rows() const noexcept {
@@ -67,7 +74,7 @@ class SramBank {
  private:
   std::string name_;
   std::size_t capacity_words_;
-  std::vector<std::int16_t> words_;
+  std::span<const std::int16_t> words_;
   std::size_t row_stride_ = 0;
   std::uint64_t reads_ = 0;
 };

@@ -55,8 +55,9 @@ void ProcessingElement::load_input(
 
 void ProcessingElement::swap_regfiles() { regfiles_.swap(); }
 
-std::vector<Flit> ProcessingElement::scan_source_nonzeros() const {
-  std::vector<Flit> out;
+void ProcessingElement::scan_source_nonzeros_into(
+    std::vector<Flit>& out) const {
+  out.clear();
   const auto raw = regfiles_.source().raw();
   const std::size_t slots =
       (slice_.layer_input_dim + num_pes_ - 1) / num_pes_;
@@ -69,7 +70,11 @@ std::vector<Flit> ProcessingElement::scan_source_nonzeros() const {
           .source = static_cast<std::uint16_t>(id_)});
     }
   }
-  return out;
+}
+
+std::span<const Flit> ProcessingElement::scan_source_nonzeros() {
+  scan_source_nonzeros_into(scan_buffer_);
+  return scan_buffer_;
 }
 
 // ---------------- V phase ----------------
@@ -77,7 +82,7 @@ std::vector<Flit> ProcessingElement::scan_source_nonzeros() const {
 void ProcessingElement::start_v_phase() {
   ensures(slice_.has_predictor, "V phase requires a predictor slice");
   v_partials_.assign(slice_.rank, 0);
-  v_inputs_ = scan_source_nonzeros();
+  scan_source_nonzeros_into(v_inputs_);
   v_input_cursor_ = 0;
   v_rank_cursor_ = 0;
   v_inject_cursor_ = 0;
@@ -172,7 +177,7 @@ void ProcessingElement::start_w_phase() {
     if (predictor_bits_[r]) active_local_rows_.push_back(r);
     ++events_.predictor_bits;  // LNZD reads the bank once per row
   }
-  w_injections_ = scan_source_nonzeros();
+  scan_source_nonzeros_into(w_injections_);
   w_inject_cursor_ = 0;
   w_busy_cycles_ = 0;
   events_.lnzd_scans += w_injections_.size();
@@ -236,11 +241,10 @@ bool ProcessingElement::w_done() const noexcept {
   return injections_done() && queue_.empty() && w_busy_cycles_ == 0;
 }
 
-std::vector<std::pair<std::uint32_t, std::int16_t>>
+std::span<const std::pair<std::uint32_t, std::int16_t>>
 ProcessingElement::write_back() {
   regfiles_.destination().clear();
-  std::vector<std::pair<std::uint32_t, std::int16_t>> out;
-  out.reserve(slice_.global_rows.size());
+  write_back_buffer_.clear();
   const int from_frac = slice_.in_frac + slice_.w_frac;
   for (std::size_t r = 0; r < slice_.global_rows.size(); ++r) {
     std::int16_t value = 0;
@@ -255,9 +259,9 @@ ProcessingElement::write_back() {
                                       num_pes_,
                                   value);
     ++events_.act_reg_writes;
-    out.emplace_back(global, value);
+    write_back_buffer_.emplace_back(global, value);
   }
-  return out;
+  return write_back_buffer_;
 }
 
 }  // namespace sparsenn

@@ -20,9 +20,19 @@
 // The cycle loop lives in src/sim; the PE exposes per-cycle step
 // methods and precise event counters. All arithmetic is int16/int64
 // fixed point and must match nn::QuantizedNetwork bit-for-bit.
+//
+// A PeLayerSlice is a bundle of read-only views into storage owned by
+// whoever compiled the network (sim::CompiledNetwork, or an
+// OwnedPeSlice in tests): loading a layer binds views instead of
+// copying weights, and the PE's per-phase scratch buffers are members
+// reused across layers and inferences, so the steady-state cycle loop
+// never touches the heap. The slice's backing storage must stay alive
+// while the layer simulates.
 
 #include <cstdint>
 #include <optional>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "arch/energy.hpp"
@@ -34,7 +44,8 @@
 
 namespace sparsenn {
 
-/// The slice of one layer mapped to one PE, already quantised.
+/// The slice of one layer mapped to one PE, already quantised. Views
+/// only — copying the struct copies pointers, not weights.
 struct PeLayerSlice {
   std::size_t layer_input_dim = 0;
   std::size_t layer_output_dim = 0;
@@ -43,14 +54,14 @@ struct PeLayerSlice {
   bool is_output = false;
 
   /// Global indices of the W/U rows mapped here, ascending.
-  std::vector<std::uint32_t> global_rows;
+  std::span<const std::uint32_t> global_rows;
   /// W rows, row-major, stride = layer_input_dim.
-  std::vector<std::int16_t> w_words;
+  std::span<const std::int16_t> w_words;
   /// U rows, row-major, stride = rank.
-  std::vector<std::int16_t> u_words;
+  std::span<const std::int16_t> u_words;
   /// V columns for the local input slots, row-major, stride = rank;
   /// entry s covers global input index s * num_pes + pe_id.
-  std::vector<std::int16_t> v_words;
+  std::span<const std::int16_t> v_words;
 
   int in_frac = 9;
   int out_frac = 9;
@@ -70,7 +81,8 @@ class ProcessingElement {
 
   std::size_t id() const noexcept { return id_; }
 
-  /// Loads a layer slice into the local SRAMs (capacity-checked).
+  /// Binds a layer slice to the local SRAMs (capacity-checked). The
+  /// slice's backing storage must outlive the layer's simulation.
   void load_layer(const PeLayerSlice& slice);
 
   /// Writes the PE's interleaved share of the network input into the
@@ -125,19 +137,25 @@ class ProcessingElement {
 
   /// Rescales accumulators and writes the destination register file;
   /// returns (global index, value) pairs of the produced activations.
-  std::vector<std::pair<std::uint32_t, std::int16_t>> write_back();
+  /// The view is into a member buffer, valid until the next call.
+  std::span<const std::pair<std::uint32_t, std::int16_t>> write_back();
 
   const EventCounts& events() const noexcept { return events_; }
   void reset_events() noexcept { events_ = EventCounts{}; }
 
   /// Local (slot, value) nonzeros of the source register file —
-  /// exactly the LNZD scan output. Exposed for tests.
-  std::vector<Flit> scan_source_nonzeros() const;
+  /// exactly the LNZD scan output (no event charge; the phase starts
+  /// meter their own scans). The view is into a member buffer reused
+  /// across calls, valid until the next call.
+  std::span<const Flit> scan_source_nonzeros();
 
  private:
   std::size_t global_index_of_slot(std::size_t slot) const noexcept {
     return slot * num_pes_ + id_;
   }
+
+  /// LNZD scan into a reusable buffer (clears, then fills).
+  void scan_source_nonzeros_into(std::vector<Flit>& out) const;
 
   std::size_t id_;
   std::size_t num_pes_;
@@ -167,6 +185,10 @@ class ProcessingElement {
   std::vector<Flit> w_injections_;
   std::size_t w_inject_cursor_ = 0;
   std::size_t w_busy_cycles_ = 0;
+
+  // Reusable output buffers (capacity persists across layers).
+  std::vector<Flit> scan_buffer_;
+  std::vector<std::pair<std::uint32_t, std::int16_t>> write_back_buffer_;
 
   EventCounts events_;
 };

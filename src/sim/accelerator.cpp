@@ -4,7 +4,6 @@
 
 #include "common/check.hpp"
 #include "common/logging.hpp"
-#include "sim/schedule.hpp"
 
 namespace sparsenn {
 namespace {
@@ -20,7 +19,11 @@ EventCounts SimResult::total_events() const {
   return total;
 }
 
-AcceleratorSim::AcceleratorSim(const ArchParams& params) : params_(params) {
+AcceleratorSim::AcceleratorSim(const ArchParams& params)
+    : params_(params),
+      v_tree_(params_, RouterMode::kAccumulate),   // ctor validates params
+      w_tree_(params_, RouterMode::kArbitrate),
+      broadcast_(params_.router_levels) {
   params_.validate();
   pes_.reserve(params_.num_pes);
   for (std::size_t i = 0; i < params_.num_pes; ++i)
@@ -30,48 +33,67 @@ AcceleratorSim::AcceleratorSim(const ArchParams& params) : params_(params) {
 SimResult AcceleratorSim::run(const QuantizedNetwork& network,
                               std::span<const float> input,
                               bool use_predictor) {
+  // One-shot compile: the same slicing work the seed engine did per
+  // layer, done up front; validation stays on, like the seed engine.
+  const CompiledNetwork compiled(network, params_, use_predictor);
+  return run(compiled, input, ValidationMode::kFull);
+}
+
+SimResult AcceleratorSim::run(const CompiledNetwork& compiled,
+                              std::span<const float> input,
+                              ValidationMode validation) {
+  expects(compiled.num_pes() == pes_.size(),
+          "CompiledNetwork was built for a different PE count");
+  const QuantizedNetwork& network = compiled.network();
   const std::vector<std::int16_t> quantized = network.quantize_input(input);
 
   // Scatter the input across the PEs' source register files.
   for (auto& pe : pes_) pe.load_input(quantized);
 
-  // Golden reference, computed layer by layer alongside the simulation.
-  std::vector<std::int16_t> golden = quantized;
+  // Golden reference, computed layer by layer alongside the simulation
+  // when validating.
+  const bool validate = validation == ValidationMode::kFull;
+  std::vector<std::int16_t> golden;
+  if (validate) golden = quantized;
 
   if (trace_) trace_->begin_inference();
 
   SimResult result;
-  for (std::size_t l = 0; l < network.num_layers(); ++l) {
-    LayerSimResult layer = run_layer(network, l, use_predictor);
+  for (std::size_t l = 0; l < compiled.num_layers(); ++l) {
+    LayerSimResult layer = run_layer(compiled, l);
 
-    const QuantizedLayerResult golden_layer =
-        network.forward_layer(l, golden, use_predictor);
-    ensures(layer.activations == golden_layer.activations,
-            "simulator diverged from the functional fixed-point model");
-    golden = golden_layer.activations;
+    if (validate) {
+      const QuantizedLayerResult golden_layer =
+          network.forward_layer(l, golden, compiled.use_predictor());
+      ensures(layer.activations == golden_layer.activations,
+              "simulator diverged from the functional fixed-point model");
+      golden = golden_layer.activations;
+    }
 
     result.total_cycles += layer.total_cycles;
     result.layers.push_back(std::move(layer));
     for (auto& pe : pes_) pe.swap_regfiles();
   }
-  result.output = golden;
+  // The simulated activations equal the golden ones whenever validation
+  // runs, so the output is the last layer's activations either way.
+  result.output =
+      validate ? std::move(golden) : result.layers.back().activations;
   return result;
 }
 
-LayerSimResult AcceleratorSim::run_layer(const QuantizedNetwork& network,
-                                         std::size_t l,
-                                         bool use_predictor) {
-  const QuantizedLayer& layer = network.layer(l);
+LayerSimResult AcceleratorSim::run_layer(const CompiledNetwork& compiled,
+                                         std::size_t l) {
+  const QuantizedLayer& layer = compiled.network().layer(l);
   LayerSimResult result;
 
   for (auto& pe : pes_) {
     pe.reset_events();
-    pe.load_layer(make_pe_slice(layer, params_, pe.id(), use_predictor));
+    pe.load_layer(compiled.slice(l, pe.id()));
     result.nnz_inputs += pe.scan_source_nonzeros().size();
   }
 
-  const bool predict =
-      use_predictor && layer.has_predictor() && !layer.is_output;
+  const bool predict = compiled.use_predictor() && layer.has_predictor() &&
+                       !layer.is_output;
   if (predict) {
     result.v_cycles = simulate_v_phase(layer, result);
     std::uint64_t u_max = 0;
@@ -127,22 +149,23 @@ LayerSimResult AcceleratorSim::run_layer(const QuantizedNetwork& network,
 
 std::uint64_t AcceleratorSim::simulate_v_phase(const QuantizedLayer& layer,
                                                LayerSimResult& result) {
-  UpwardTree tree(params_, RouterMode::kAccumulate);
-  BroadcastChannel broadcast(params_.router_levels);
+  UpwardTree& tree = v_tree_;
+  BroadcastChannel& broadcast = broadcast_;
+  tree.reset();
+  broadcast.reset();
   const std::size_t rank = layer.rank();
   const int from_frac = layer.in_fmt.frac_bits + layer.v->fmt.frac_bits;
 
   for (auto& pe : pes_) pe.start_v_phase();
 
   std::uint64_t cycles = 0;
-  std::vector<bool> closed(pes_.size(), false);
-  const auto all_received = [&] {
-    return std::all_of(pes_.begin(), pes_.end(), [&](const auto& pe) {
-      return pe.v_results_received() >= rank;
-    });
-  };
+  v_closed_.assign(pes_.size(), false);
+  // Every broadcast result reaches every PE in the same cycle, so one
+  // maintained counter replaces the per-cycle all-PEs scan: the phase
+  // ends when `rank` results have been delivered.
+  std::size_t results_delivered = 0;
 
-  while (!all_received()) {
+  while (results_delivered < rank) {
     ensures(++cycles < kCycleLimit, "V-phase deadlock");
 
     for (std::size_t i = 0; i < pes_.size(); ++i) {
@@ -152,13 +175,13 @@ std::uint64_t AcceleratorSim::simulate_v_phase(const QuantizedLayer& layer,
       } else if (pe.has_partial_ready() && tree.can_inject(i)) {
         tree.inject(i, pe.peek_partial());
         pe.pop_partial();
-        if (pe.all_partials_sent() && !closed[i]) {
+        if (pe.all_partials_sent() && !v_closed_[i]) {
           tree.close_injector(i);
-          closed[i] = true;
+          v_closed_[i] = true;
         }
-      } else if (pe.all_partials_sent() && !closed[i]) {
+      } else if (pe.all_partials_sent() && !v_closed_[i]) {
         tree.close_injector(i);
-        closed[i] = true;
+        v_closed_[i] = true;
       }
     }
 
@@ -174,6 +197,7 @@ std::uint64_t AcceleratorSim::simulate_v_phase(const QuantizedLayer& layer,
       for (auto& pe : pes_)
         pe.receive_v_result(delivered->index,
                             static_cast<std::int16_t>(delivered->payload));
+      ++results_delivered;
     }
   }
 
@@ -185,36 +209,41 @@ std::uint64_t AcceleratorSim::simulate_v_phase(const QuantizedLayer& layer,
 }
 
 std::uint64_t AcceleratorSim::simulate_w_phase(LayerSimResult& result) {
-  UpwardTree tree(params_, RouterMode::kArbitrate);
-  BroadcastChannel broadcast(params_.router_levels);
+  UpwardTree& tree = w_tree_;
+  BroadcastChannel& broadcast = broadcast_;
+  tree.reset();
+  broadcast.reset();
 
   for (auto& pe : pes_) pe.start_w_phase();
 
   std::uint64_t cycles = 0;
   std::uint64_t delivered_count = 0;
 
-  const auto done = [&] {
-    if (!tree.idle() || !broadcast.idle()) return false;
-    return std::all_of(pes_.begin(), pes_.end(), [](const auto& pe) {
-      return pe.injections_done() && pe.w_done();
-    });
-  };
+  // The phase ends when the PEs have nothing pending and the NoC has
+  // drained. The PE predicate is recomputed inside the existing per-PE
+  // consume pass (not an extra all-PEs scan), and the tree/broadcast
+  // checks read maintained counters, so the loop condition is O(1).
+  bool pes_done = true;
+  for (const auto& pe : pes_) pes_done = pes_done && pe.w_done();
 
-  while (!done()) {
+  while (!(pes_done && tree.idle() && broadcast.idle())) {
     ensures(++cycles < kCycleLimit, "W-phase deadlock");
 
+    // Injection pass, folded together with the queue-credit scan: the
+    // queues are untouched by injections, so the minimum computed here
+    // equals the seed engine's separate pass.
+    std::size_t min_free = SIZE_MAX;
     for (std::size_t i = 0; i < pes_.size(); ++i) {
-      if (pes_[i].has_injection() && tree.can_inject(i)) {
-        tree.inject(i, pes_[i].peek_injection());
-        pes_[i].pop_injection();
+      ProcessingElement& pe = pes_[i];
+      if (pe.has_injection() && tree.can_inject(i)) {
+        tree.inject(i, pe.peek_injection());
+        pe.pop_injection();
       }
+      min_free = std::min(min_free, pe.queue_free_slots());
     }
 
     // Root issues only when every PE can absorb what is in flight plus
     // one more flit (queue-credit backpressure).
-    std::size_t min_free = SIZE_MAX;
-    for (const auto& pe : pes_)
-      min_free = std::min(min_free, pe.queue_free_slots());
     const bool root_ready = min_free > broadcast.in_flight();
 
     if (const auto out = tree.step(root_ready)) broadcast.send(*out);
@@ -224,7 +253,11 @@ std::uint64_t AcceleratorSim::simulate_w_phase(LayerSimResult& result) {
       ++delivered_count;
     }
 
-    for (auto& pe : pes_) pe.step_w_consume();
+    pes_done = true;
+    for (auto& pe : pes_) {
+      pe.step_w_consume();
+      pes_done = pes_done && pe.w_done();
+    }
   }
 
   ensures(delivered_count == result.nnz_inputs,

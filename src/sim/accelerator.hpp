@@ -15,9 +15,21 @@
 // row computes — this is exactly the EIE-style input-sparsity-only
 // baseline the paper calls uv_off.
 //
-// Every run is verified against nn::QuantizedNetwork: the simulator's
-// activations must match the functional fixed-point model bit-exactly
-// (out-of-order NoC delivery cannot change integer sums).
+// Two entry points share the engine:
+//
+//   run(network, input, use_predictor) — compiles the network's per-PE
+//     slices for this one inference and cross-checks every layer
+//     against nn::QuantizedNetwork (the seed engine's behaviour);
+//
+//   run(compiled, input, mode) — the batch hot path: slices come from a
+//     shared read-only CompiledNetwork, the NoC and all PE scratch are
+//     reused in place, and the golden-model cross-check is a
+//     ValidationMode knob. Results are bit-identical across both entry
+//     points and both modes; only the wall-clock differs.
+//
+// The steady-state cycle loop performs no heap allocation: the trees,
+// broadcast channel, queues and scan buffers are preallocated members
+// reused across phases, layers and inferences.
 
 #include <cstdint>
 #include <vector>
@@ -27,9 +39,19 @@
 #include "nn/quantized.hpp"
 #include "noc/htree.hpp"
 #include "pe/pe.hpp"
+#include "sim/compiled_network.hpp"
 #include "sim/trace.hpp"
 
 namespace sparsenn {
+
+/// Whether run() cross-checks every layer's simulated activations
+/// against the functional fixed-point model.
+enum class ValidationMode {
+  kFull,  ///< golden forward pass + ensures() per layer (tests, CLI)
+  kOff,   ///< trust the engine (batch/bench hot paths after an
+          ///< initial validated inference) — results are identical,
+          ///< only the redundant golden recomputation is skipped
+};
 
 /// Cycle/energy results for one layer of one inference.
 struct LayerSimResult {
@@ -65,20 +87,28 @@ class AcceleratorSim {
 
   const ArchParams& params() const noexcept { return params_; }
 
-  /// Runs one inference. The input is quantised with the network's
-  /// input format, scattered across the PEs, and the layers execute in
-  /// sequence. Throws InvariantError if the simulated activations ever
-  /// diverge from the functional model or the NoC deadlocks.
+  /// Runs one inference against a one-shot compiled image with full
+  /// validation — identical results to the compiled overload. The
+  /// input is quantised with the network's input format, scattered
+  /// across the PEs, and the layers execute in sequence. Throws
+  /// InvariantError if the simulated activations ever diverge from
+  /// the functional model or the NoC deadlocks.
   SimResult run(const QuantizedNetwork& network,
                 std::span<const float> input, bool use_predictor);
+
+  /// Runs one inference from a pre-compiled network (see
+  /// sim/compiled_network.hpp). `compiled` must have been built with
+  /// this simulator's ArchParams and must outlive the call.
+  SimResult run(const CompiledNetwork& compiled,
+                std::span<const float> input,
+                ValidationMode validation = ValidationMode::kFull);
 
   /// Attaches a trace log; every subsequent run() appends per-phase
   /// records. Pass nullptr to detach. The log must outlive the sim.
   void set_trace(TraceLog* trace) noexcept { trace_ = trace; }
 
  private:
-  LayerSimResult run_layer(const QuantizedNetwork& network, std::size_t l,
-                           bool use_predictor);
+  LayerSimResult run_layer(const CompiledNetwork& compiled, std::size_t l);
 
   std::uint64_t simulate_v_phase(const QuantizedLayer& layer,
                                  LayerSimResult& result);
@@ -88,6 +118,14 @@ class AcceleratorSim {
 
   ArchParams params_;
   std::vector<ProcessingElement> pes_;
+
+  // Persistent NoC instances, reset at each phase start instead of
+  // rebuilt — reset is bit-identical to fresh construction.
+  UpwardTree v_tree_;
+  UpwardTree w_tree_;
+  BroadcastChannel broadcast_;
+  std::vector<bool> v_closed_;  ///< per-PE injector-closed scratch
+
   TraceLog* trace_ = nullptr;
 };
 

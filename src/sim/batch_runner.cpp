@@ -7,6 +7,8 @@
 #include <mutex>
 #include <thread>
 
+#include "common/check.hpp"
+
 namespace sparsenn {
 
 double BatchResult::inferences_per_second() const noexcept {
@@ -20,17 +22,14 @@ double BatchResult::cycles_per_inference() const noexcept {
          static_cast<double>(num_inferences);
 }
 
-LayerBatchTotals& LayerBatchTotals::operator+=(
-    const LayerSimResult& layer) noexcept {
-  v_cycles += layer.v_cycles;
-  u_cycles += layer.u_cycles;
-  w_cycles += layer.w_cycles;
-  total_cycles += layer.total_cycles;
-  nnz_inputs += layer.nnz_inputs;
-  active_rows += layer.active_rows;
-  events += layer.events;
-  return *this;
-}
+LayerBatchTotals::LayerBatchTotals(const LayerSimResult& layer) noexcept
+    : v_cycles(layer.v_cycles),
+      u_cycles(layer.u_cycles),
+      w_cycles(layer.w_cycles),
+      total_cycles(layer.total_cycles),
+      nnz_inputs(layer.nnz_inputs),
+      active_rows(layer.active_rows),
+      events(layer.events) {}
 
 LayerBatchTotals& LayerBatchTotals::operator+=(
     const LayerBatchTotals& other) noexcept {
@@ -95,6 +94,19 @@ struct WorkerAccum {
 
 BatchResult BatchRunner::run(const QuantizedNetwork& network,
                              const Dataset& data) const {
+  // Compile once, run many: the per-PE slice image depends only on
+  // (network, arch, use_predictor), never on the inputs.
+  const CompiledNetwork compiled(network, params_, options_.use_predictor);
+  return run(compiled, data);
+}
+
+BatchResult BatchRunner::run(const CompiledNetwork& compiled,
+                             const Dataset& data) const {
+  expects(compiled.num_pes() == params_.num_pes,
+          "CompiledNetwork was built for a different PE count");
+  expects(compiled.use_predictor() == options_.use_predictor,
+          "CompiledNetwork was built for the other uv mode");
+
   // Count images, not labels: an unlabeled dataset (inputs only) is
   // still runnable — it just reports error_rate_percent = -1.
   const std::size_t num_images = data.inputs.rows();
@@ -117,14 +129,22 @@ BatchResult BatchRunner::run(const QuantizedNetwork& network,
 
   const auto worker = [&](std::size_t worker_id) {
     // One private simulator per worker: AcceleratorSim carries per-PE
-    // register files and event counters across run() calls.
+    // register files and event counters across run() calls. The
+    // compiled image is shared read-only.
     AcceleratorSim sim(params_);
+    bool validated_one = false;
     try {
       while (true) {
         const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
         if (i >= total) break;
-        SimResult r =
-            sim.run(network, data.image(i), options_.use_predictor);
+        const bool validate =
+            options_.validation == BatchValidation::kFull ||
+            (options_.validation == BatchValidation::kFirstInference &&
+             !validated_one);
+        SimResult r = sim.run(compiled, data.image(i),
+                              validate ? ValidationMode::kFull
+                                       : ValidationMode::kOff);
+        validated_one = true;
         if (options_.keep_results) {
           results[i] = std::move(r);
         } else {

@@ -3,7 +3,10 @@
 //
 // BatchRunner shards a set of inputs across N worker threads, each
 // owning a private AcceleratorSim — the simulator is stateful (per-PE
-// register files, event counters), so instances cannot be shared.
+// register files, event counters), so instances cannot be shared. The
+// network, however, is compiled to its per-PE slice image exactly once
+// per batch (sim/compiled_network.hpp) and shared read-only by every
+// worker: per-inference work touches only input-dependent state.
 // Work is handed out through an atomic cursor, every inference writes
 // its SimResult into a preallocated slot indexed by input, and
 // aggregation happens after the join in input order. The merged
@@ -19,14 +22,26 @@
 #include "data/dataset.hpp"
 #include "nn/quantized.hpp"
 #include "sim/accelerator.hpp"
+#include "sim/compiled_network.hpp"
 
 namespace sparsenn {
+
+/// How much golden-model cross-checking a batch performs. Results are
+/// bit-identical in every mode; validation only recomputes the
+/// functional model alongside the simulation and asserts equality.
+enum class BatchValidation {
+  kFull,            ///< every layer of every inference (debug)
+  kFirstInference,  ///< each worker validates its first inference,
+                    ///< then trusts the compiled engine (default)
+  kOff,             ///< no cross-checking
+};
 
 struct BatchOptions {
   std::size_t num_threads = 0;  ///< 0 = std::thread::hardware_concurrency()
   bool use_predictor = true;    ///< uv_on (paper) vs uv_off (EIE baseline)
   std::size_t max_samples = 0;  ///< 0 = the whole dataset
   bool keep_results = true;     ///< retain the per-input SimResults
+  BatchValidation validation = BatchValidation::kFirstInference;
 };
 
 /// Aggregate per-layer totals over the whole batch (exact integer sums).
@@ -39,8 +54,16 @@ struct LayerBatchTotals {
   std::uint64_t active_rows = 0;
   EventCounts events;
 
-  LayerBatchTotals& operator+=(const LayerSimResult& layer) noexcept;
+  LayerBatchTotals() = default;
+  /// Converting constructor: lifting a per-inference layer result into
+  /// totals form keeps the field-by-field sum list in one place
+  /// (operator+= below) instead of two overloads.
+  explicit LayerBatchTotals(const LayerSimResult& layer) noexcept;
+
   LayerBatchTotals& operator+=(const LayerBatchTotals& other) noexcept;
+  LayerBatchTotals& operator+=(const LayerSimResult& layer) noexcept {
+    return *this += LayerBatchTotals(layer);
+  }
 };
 
 struct BatchResult {
@@ -67,9 +90,15 @@ class BatchRunner {
   const BatchOptions& options() const noexcept { return options_; }
 
   /// Runs the first min(max_samples, data.size()) test images through
-  /// the accelerator. Worker exceptions (e.g. a golden-model
-  /// divergence) abort the batch and rethrow on the calling thread.
+  /// the accelerator, compiling the network once for the whole batch.
+  /// Worker exceptions (e.g. a golden-model divergence) abort the
+  /// batch and rethrow on the calling thread.
   BatchResult run(const QuantizedNetwork& network, const Dataset& data) const;
+
+  /// Same, from an already-compiled network (shared read-only across
+  /// the workers). `compiled` must match this runner's ArchParams and
+  /// options().use_predictor, and must outlive the call.
+  BatchResult run(const CompiledNetwork& compiled, const Dataset& data) const;
 
  private:
   ArchParams params_;

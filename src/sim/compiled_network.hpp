@@ -1,0 +1,79 @@
+#pragma once
+// A quantised network compiled for the PE array.
+//
+// The simulator's work splits into input-dependent state (activations,
+// partial sums, NoC traffic) and network-only state (the per-PE
+// interleaved W/U/V slices, row maps and format metadata). The seed
+// engine rebuilt the latter for every layer of every inference —
+// copying every weight word into per-PE vectors and again into the PE
+// SRAM banks — which dominated batch wall-clock. CompiledNetwork does
+// that slicing exactly once per (network, arch, use_predictor) and
+// packs all slices into contiguous pools; PeLayerSlice views
+// (pe/pe.hpp) point into the pools, so loading a layer into a PE binds
+// spans instead of copying words.
+//
+// The compiled image is immutable and read-only shared: every layer,
+// every inference and every BatchRunner worker thread reads the same
+// storage concurrently without synchronisation. It snapshots the
+// network at compile time — recompile after mutating the source (e.g.
+// QuantizedNetwork::set_prediction_threshold). The referenced
+// QuantizedNetwork and the chosen ArchParams must outlive the
+// CompiledNetwork.
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/params.hpp"
+#include "nn/quantized.hpp"
+#include "pe/pe.hpp"
+
+namespace sparsenn {
+
+class CompiledNetwork {
+ public:
+  /// Slices every layer for every PE. `use_predictor` is baked in
+  /// because it decides whether U/V words are packed at all (the
+  /// paper's uv_on vs uv_off deployments are different images).
+  CompiledNetwork(const QuantizedNetwork& network, const ArchParams& params,
+                  bool use_predictor);
+
+  // Movable (vector moves keep heap buffers, so the slice views stay
+  // valid); copying would re-point nothing, so it is deleted.
+  CompiledNetwork(CompiledNetwork&&) noexcept = default;
+  CompiledNetwork& operator=(CompiledNetwork&&) noexcept = default;
+  CompiledNetwork(const CompiledNetwork&) = delete;
+  CompiledNetwork& operator=(const CompiledNetwork&) = delete;
+
+  const QuantizedNetwork& network() const noexcept { return *network_; }
+  const ArchParams& params() const noexcept { return params_; }
+  bool use_predictor() const noexcept { return use_predictor_; }
+  std::size_t num_layers() const noexcept { return num_layers_; }
+  std::size_t num_pes() const noexcept { return params_.num_pes; }
+
+  /// The read-only slice of layer `layer` mapped to PE `pe`.
+  const PeLayerSlice& slice(std::size_t layer, std::size_t pe) const {
+    return slices_.at(layer * params_.num_pes + pe);
+  }
+
+  /// Total packed weight words (W + U + V), for memory accounting.
+  std::size_t packed_words() const noexcept {
+    return w_pool_.size() + u_pool_.size() + v_pool_.size();
+  }
+
+ private:
+  const QuantizedNetwork* network_;
+  ArchParams params_;
+  bool use_predictor_;
+  std::size_t num_layers_;
+
+  // Packed storage, layer-major then PE-major; never resized after
+  // construction so the views below stay valid for the object's life.
+  std::vector<std::uint32_t> rows_pool_;
+  std::vector<std::int16_t> w_pool_;
+  std::vector<std::int16_t> u_pool_;
+  std::vector<std::int16_t> v_pool_;
+
+  std::vector<PeLayerSlice> slices_;  ///< [layer * num_pes + pe]
+};
+
+}  // namespace sparsenn

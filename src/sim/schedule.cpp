@@ -6,19 +6,38 @@
 
 namespace sparsenn {
 
+namespace {
+
+/// The single definition of the row-interleave map: global row j
+/// belongs to PE (j mod P). Appends PE `pe`'s rows to `out`.
+void append_rows_for_pe(std::size_t num_rows, std::size_t pe,
+                        std::size_t num_pes,
+                        std::vector<std::uint32_t>& out) {
+  for (std::size_t j = pe; j < num_rows; j += num_pes)
+    out.push_back(static_cast<std::uint32_t>(j));
+}
+
+}  // namespace
+
 std::vector<std::uint32_t> rows_for_pe(std::size_t num_rows,
                                        std::size_t pe,
                                        std::size_t num_pes) {
   expects(pe < num_pes, "PE id out of range");
   std::vector<std::uint32_t> rows;
-  for (std::size_t j = pe; j < num_rows; j += num_pes)
-    rows.push_back(static_cast<std::uint32_t>(j));
+  append_rows_for_pe(num_rows, pe, num_pes, rows);
   return rows;
 }
 
-PeLayerSlice make_pe_slice(const QuantizedLayer& layer,
-                           const ArchParams& params, std::size_t pe,
-                           bool use_predictor) {
+namespace detail {
+
+PeLayerSlice append_pe_slice(const QuantizedLayer& layer,
+                             const ArchParams& params, std::size_t pe,
+                             bool use_predictor,
+                             std::vector<std::uint32_t>& rows_pool,
+                             std::vector<std::int16_t>& w_pool,
+                             std::vector<std::int16_t>& u_pool,
+                             std::vector<std::int16_t>& v_pool) {
+  expects(pe < params.num_pes, "PE id out of range");
   PeLayerSlice slice;
   slice.layer_input_dim = layer.w.cols;
   slice.layer_output_dim = layer.w.rows;
@@ -27,12 +46,14 @@ PeLayerSlice make_pe_slice(const QuantizedLayer& layer,
       use_predictor && layer.has_predictor() && !layer.is_output;
   slice.rank = slice.has_predictor ? layer.rank() : 0;
 
-  slice.global_rows = rows_for_pe(layer.w.rows, pe, params.num_pes);
+  const std::size_t rows_begin = rows_pool.size();
+  append_rows_for_pe(layer.w.rows, pe, params.num_pes, rows_pool);
+  const std::size_t num_rows = rows_pool.size() - rows_begin;
 
-  slice.w_words.reserve(slice.global_rows.size() * layer.w.cols);
-  for (const std::uint32_t r : slice.global_rows) {
-    const auto row = layer.w.row(r);
-    slice.w_words.insert(slice.w_words.end(), row.begin(), row.end());
+  w_pool.reserve(w_pool.size() + num_rows * layer.w.cols);
+  for (std::size_t i = 0; i < num_rows; ++i) {
+    const auto row = layer.w.row(rows_pool[rows_begin + i]);
+    w_pool.insert(w_pool.end(), row.begin(), row.end());
   }
 
   slice.in_frac = layer.in_fmt.frac_bits;
@@ -47,20 +68,36 @@ PeLayerSlice make_pe_slice(const QuantizedLayer& layer,
     slice.mid_frac = layer.mid_fmt.frac_bits;
     slice.predictor_threshold_raw = layer.threshold_raw();
 
-    slice.u_words.reserve(slice.global_rows.size() * u.cols);
-    for (const std::uint32_t r : slice.global_rows) {
-      const auto row = u.row(r);
-      slice.u_words.insert(slice.u_words.end(), row.begin(), row.end());
+    u_pool.reserve(u_pool.size() + num_rows * u.cols);
+    for (std::size_t i = 0; i < num_rows; ++i) {
+      const auto row = u.row(rows_pool[rows_begin + i]);
+      u_pool.insert(u_pool.end(), row.begin(), row.end());
     }
 
     // Column-based: column j of V (j ≡ pe mod P), one stride-r record
     // per local input slot.
     for (std::size_t j = pe; j < v.cols; j += params.num_pes) {
       for (std::size_t k = 0; k < v.rows; ++k)
-        slice.v_words.push_back(v.at(k, j));
+        v_pool.push_back(v.at(k, j));
     }
   }
   return slice;
+}
+
+}  // namespace detail
+
+OwnedPeSlice make_pe_slice(const QuantizedLayer& layer,
+                           const ArchParams& params, std::size_t pe,
+                           bool use_predictor) {
+  OwnedPeSlice owned;
+  owned.view = detail::append_pe_slice(layer, params, pe, use_predictor,
+                                       owned.global_rows, owned.w_words,
+                                       owned.u_words, owned.v_words);
+  owned.view.global_rows = owned.global_rows;
+  owned.view.w_words = owned.w_words;
+  owned.view.u_words = owned.u_words;
+  owned.view.v_words = owned.v_words;
+  return owned;
 }
 
 ScheduleEstimate estimate_row_schedule(std::size_t rows, std::size_t nnz_in,

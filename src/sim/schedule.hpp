@@ -9,6 +9,11 @@
 //   every PE then holds a partial sum of every output row, reduced in
 //   the tree. This keeps all PEs busy even though V has only
 //   rank (< P) rows.
+//
+// PeLayerSlice is a non-owning view (see pe/pe.hpp); the batch engine
+// packs every slice of every layer into sim::CompiledNetwork once per
+// network. OwnedPeSlice below carries its own storage for single-slice
+// uses (tests, single-PE experiments).
 
 #include <cstdint>
 #include <vector>
@@ -24,10 +29,44 @@ std::vector<std::uint32_t> rows_for_pe(std::size_t num_rows,
                                        std::size_t pe,
                                        std::size_t num_pes);
 
-/// Builds the full per-PE slice of one quantised layer.
-PeLayerSlice make_pe_slice(const QuantizedLayer& layer,
+/// Backing storage plus the view for one PE's slice of one layer.
+/// Move-only: vector moves keep their heap buffers, so `view` stays
+/// valid across moves, while a copy would silently dangle.
+struct OwnedPeSlice {
+  std::vector<std::uint32_t> global_rows;
+  std::vector<std::int16_t> w_words;
+  std::vector<std::int16_t> u_words;
+  std::vector<std::int16_t> v_words;
+  PeLayerSlice view;
+
+  OwnedPeSlice() = default;
+  OwnedPeSlice(OwnedPeSlice&&) noexcept = default;
+  OwnedPeSlice& operator=(OwnedPeSlice&&) noexcept = default;
+  OwnedPeSlice(const OwnedPeSlice&) = delete;
+  OwnedPeSlice& operator=(const OwnedPeSlice&) = delete;
+};
+
+/// Builds the full per-PE slice of one quantised layer with its own
+/// storage. Keep the OwnedPeSlice alive while any PE holds `view`.
+OwnedPeSlice make_pe_slice(const QuantizedLayer& layer,
                            const ArchParams& params, std::size_t pe,
                            bool use_predictor);
+
+namespace detail {
+
+/// Shared slice builder: computes the scalar metadata and appends this
+/// PE's row indices and W/U/V words to the given pools (which may
+/// reallocate). Returns the slice with its span members UNSET — the
+/// caller wires them up once the pools' addresses are final.
+PeLayerSlice append_pe_slice(const QuantizedLayer& layer,
+                             const ArchParams& params, std::size_t pe,
+                             bool use_predictor,
+                             std::vector<std::uint32_t>& rows_pool,
+                             std::vector<std::int16_t>& w_pool,
+                             std::vector<std::int16_t>& u_pool,
+                             std::vector<std::int16_t>& v_pool);
+
+}  // namespace detail
 
 /// Row-based execution cost of a matvec on the PE array, used by the
 /// scheduling ablation: cycles ≈ nnz_inputs × max_rows_per_pe — the

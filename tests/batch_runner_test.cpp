@@ -15,32 +15,9 @@
 namespace sparsenn {
 namespace {
 
-using test_fixtures::seeded_network;
+using test_fixtures::make_batch_fixture;
 using test_fixtures::tiny_arch;
-
-/// The shared seeded network plus a synthetic labelled batch, built
-/// directly (no training) so the suite stays fast.
-struct Fixture {
-  QuantizedNetwork network;
-  Dataset data;
-
-  static Fixture make(std::size_t num_samples, std::uint64_t seed) {
-    Rng rng{seed};
-    QuantizedNetwork network = seeded_network(rng);
-
-    Dataset data;
-    data.inputs = Matrix(num_samples, 24);
-    for (std::size_t i = 0; i < data.inputs.size(); ++i) {
-      data.inputs.flat()[i] =
-          rng.bernoulli(0.4)
-              ? 0.0f
-              : static_cast<float>(rng.uniform(0.0, 1.0));
-    }
-    for (std::size_t i = 0; i < num_samples; ++i)
-      data.labels.push_back(static_cast<int>(rng.uniform_index(6)));
-    return Fixture{std::move(network), std::move(data)};
-  }
-};
+using Fixture = test_fixtures::BatchFixture;
 
 BatchResult run_batch(const Fixture& f, std::size_t threads,
                       bool use_predictor = true) {
@@ -52,7 +29,7 @@ BatchResult run_batch(const Fixture& f, std::size_t threads,
 }
 
 TEST(BatchRunner, MatchesSequentialRunPerInput) {
-  const Fixture f = Fixture::make(12, /*seed=*/3);
+  const Fixture f = make_batch_fixture(12, /*seed=*/3);
   const BatchResult batched = run_batch(f, /*threads=*/4);
   ASSERT_EQ(batched.results.size(), 12u);
 
@@ -67,7 +44,7 @@ TEST(BatchRunner, MatchesSequentialRunPerInput) {
 class BatchThreadCounts : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(BatchThreadCounts, IdenticalAcrossThreadCounts) {
-  const Fixture f = Fixture::make(16, /*seed=*/7);
+  const Fixture f = make_batch_fixture(16, /*seed=*/7);
   const BatchResult reference = run_batch(f, /*threads=*/1);
   const BatchResult parallel = run_batch(f, GetParam());
 
@@ -89,7 +66,7 @@ INSTANTIATE_TEST_SUITE_P(Threads, BatchThreadCounts,
                          ::testing::Values(1, 2, 8));
 
 TEST(BatchRunner, EventAggregationIsExact) {
-  const Fixture f = Fixture::make(10, /*seed=*/11);
+  const Fixture f = make_batch_fixture(10, /*seed=*/11);
   const BatchResult batched = run_batch(f, /*threads=*/2);
 
   // Recompute every aggregate from the per-input results by hand.
@@ -110,7 +87,7 @@ TEST(BatchRunner, EventAggregationIsExact) {
 }
 
 TEST(BatchRunner, RespectsMaxSamplesAndKeepResults) {
-  const Fixture f = Fixture::make(9, /*seed=*/13);
+  const Fixture f = make_batch_fixture(9, /*seed=*/13);
   BatchOptions options;
   options.num_threads = 2;
   options.max_samples = 5;
@@ -124,14 +101,14 @@ TEST(BatchRunner, RespectsMaxSamplesAndKeepResults) {
 }
 
 TEST(BatchRunner, MoreThreadsThanInputs) {
-  const Fixture f = Fixture::make(3, /*seed=*/17);
+  const Fixture f = make_batch_fixture(3, /*seed=*/17);
   const BatchResult result = run_batch(f, /*threads=*/8);
   EXPECT_EQ(result.num_threads, 3u);  // clamped to the batch size
   EXPECT_EQ(result.results.size(), 3u);
 }
 
 TEST(BatchRunner, UvOffBaselineAlsoDeterministic) {
-  const Fixture f = Fixture::make(8, /*seed=*/19);
+  const Fixture f = make_batch_fixture(8, /*seed=*/19);
   const BatchResult a = run_batch(f, 1, /*use_predictor=*/false);
   const BatchResult b = run_batch(f, 8, /*use_predictor=*/false);
   ASSERT_EQ(a.results.size(), b.results.size());
@@ -143,7 +120,7 @@ TEST(BatchRunner, AggregateOnlyModeMatchesKeepResults) {
   // keep_results=false folds inferences into per-worker accumulators
   // instead of retaining SimResults; every aggregate must still match
   // the post-join input-order merge exactly.
-  const Fixture f = Fixture::make(14, /*seed=*/37);
+  const Fixture f = make_batch_fixture(14, /*seed=*/37);
   BatchOptions keep;
   keep.num_threads = 3;
   BatchOptions fold = keep;
@@ -163,7 +140,7 @@ TEST(BatchRunner, AggregateOnlyModeMatchesKeepResults) {
 }
 
 TEST(BatchRunner, UnlabeledDatasetRunsWithoutErrorRate) {
-  Fixture f = Fixture::make(6, /*seed=*/29);
+  Fixture f = make_batch_fixture(6, /*seed=*/29);
   f.data.labels.clear();  // inputs only — still simulable
   const BatchResult result = run_batch(f, 2);
   EXPECT_EQ(result.num_inferences, 6u);
@@ -172,7 +149,7 @@ TEST(BatchRunner, UnlabeledDatasetRunsWithoutErrorRate) {
 }
 
 TEST(BatchRunner, EmptyDatasetIsHarmless) {
-  const Fixture f = Fixture::make(0, /*seed=*/23);
+  const Fixture f = make_batch_fixture(0, /*seed=*/23);
   const BatchResult result = run_batch(f, 4);
   EXPECT_EQ(result.num_inferences, 0u);
   EXPECT_EQ(result.total_cycles, 0u);

@@ -1,0 +1,190 @@
+// Tests for src/sim/compiled_network + the compiled engine path of
+// AcceleratorSim/BatchRunner: compiling a network once and running many
+// inferences from the shared read-only image must be a pure
+// optimisation — SimResult cycles, activations and every EventCounts
+// field bit-identical to a freshly-constructed per-inference run,
+// across predictor modes, validation modes and thread counts.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <ranges>
+#include <vector>
+
+#include "common/check.hpp"
+#include "sim/accelerator.hpp"
+#include "sim/batch_runner.hpp"
+#include "sim/compiled_network.hpp"
+#include "sim/schedule.hpp"
+#include "sim_fixtures.hpp"
+
+namespace sparsenn {
+namespace {
+
+using test_fixtures::make_batch_fixture;
+using test_fixtures::seeded_network;
+using test_fixtures::tiny_arch;
+using Fixture = test_fixtures::BatchFixture;
+
+/// Seed-engine reference: a brand-new simulator per inference, the
+/// one-shot (recompile + full validation) entry point.
+SimResult fresh_run(const QuantizedNetwork& network,
+                    std::span<const float> input, bool use_predictor) {
+  AcceleratorSim sim(tiny_arch());
+  return sim.run(network, input, use_predictor);
+}
+
+TEST(CompiledNetwork, SlicesMatchFreshlyBuiltOnes) {
+  Rng rng{3};
+  const QuantizedNetwork q = seeded_network(rng);
+  const ArchParams arch = tiny_arch();
+
+  for (const bool uv_on : {true, false}) {
+    const CompiledNetwork compiled(q, arch, uv_on);
+    ASSERT_EQ(compiled.num_layers(), q.num_layers());
+    for (std::size_t l = 0; l < q.num_layers(); ++l) {
+      for (std::size_t pe = 0; pe < arch.num_pes; ++pe) {
+        const OwnedPeSlice fresh =
+            make_pe_slice(q.layer(l), arch, pe, uv_on);
+        const PeLayerSlice& got = compiled.slice(l, pe);
+        EXPECT_EQ(got.layer_input_dim, fresh.view.layer_input_dim);
+        EXPECT_EQ(got.layer_output_dim, fresh.view.layer_output_dim);
+        EXPECT_EQ(got.rank, fresh.view.rank);
+        EXPECT_EQ(got.has_predictor, fresh.view.has_predictor);
+        EXPECT_EQ(got.is_output, fresh.view.is_output);
+        EXPECT_EQ(got.predictor_threshold_raw,
+                  fresh.view.predictor_threshold_raw);
+        EXPECT_TRUE(std::ranges::equal(got.global_rows, fresh.global_rows))
+            << "layer " << l << " pe " << pe;
+        EXPECT_TRUE(std::ranges::equal(got.w_words, fresh.w_words))
+            << "layer " << l << " pe " << pe;
+        EXPECT_TRUE(std::ranges::equal(got.u_words, fresh.u_words))
+            << "layer " << l << " pe " << pe;
+        EXPECT_TRUE(std::ranges::equal(got.v_words, fresh.v_words))
+            << "layer " << l << " pe " << pe;
+      }
+    }
+  }
+}
+
+/// Compiled engine vs the per-inference engine, both uv modes, both
+/// validation modes — every SimResult field must be bit-identical
+/// (operator== covers cycles, activations, NocStats and EventCounts).
+class CompiledEngineExactness : public ::testing::TestWithParam<bool> {};
+
+TEST_P(CompiledEngineExactness, BitIdenticalToFreshPerInferenceRuns) {
+  const bool uv_on = GetParam();
+  const Fixture f = make_batch_fixture(6, /*seed=*/21);
+  const CompiledNetwork compiled(f.network, tiny_arch(), uv_on);
+
+  AcceleratorSim sim(tiny_arch());  // one reused simulator
+  for (std::size_t i = 0; i < f.data.size(); ++i) {
+    const SimResult expected =
+        fresh_run(f.network, f.data.image(i), uv_on);
+    const SimResult validated =
+        sim.run(compiled, f.data.image(i), ValidationMode::kFull);
+    const SimResult unvalidated =
+        sim.run(compiled, f.data.image(i), ValidationMode::kOff);
+    EXPECT_EQ(validated, expected) << "input " << i << " (kFull)";
+    EXPECT_EQ(unvalidated, expected) << "input " << i << " (kOff)";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(UvModes, CompiledEngineExactness,
+                         ::testing::Values(true, false));
+
+/// One CompiledNetwork shared read-only across BatchRunner workers:
+/// per-input results identical to fresh per-inference runs for every
+/// thread count.
+class CompiledBatchThreads : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(CompiledBatchThreads, SharedAcrossWorkersMatchesFreshRuns) {
+  const Fixture f = make_batch_fixture(12, /*seed=*/33);
+  for (const bool uv_on : {true, false}) {
+    const CompiledNetwork compiled(f.network, tiny_arch(), uv_on);
+
+    BatchOptions options;
+    options.num_threads = GetParam();
+    options.use_predictor = uv_on;
+    const BatchRunner runner(tiny_arch(), options);
+    // The same image is shared by all workers of this run (and can be
+    // reused across runs).
+    const BatchResult batched = runner.run(compiled, f.data);
+
+    ASSERT_EQ(batched.results.size(), f.data.size());
+    for (std::size_t i = 0; i < f.data.size(); ++i) {
+      EXPECT_EQ(batched.results[i],
+                fresh_run(f.network, f.data.image(i), uv_on))
+          << "input " << i << " uv " << uv_on << " threads " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, CompiledBatchThreads,
+                         ::testing::Values(1, 2, 8));
+
+TEST(CompiledEngine, BatchValidationModesAreBitIdentical) {
+  const Fixture f = make_batch_fixture(10, /*seed=*/41);
+  std::vector<BatchResult> runs;
+  for (const BatchValidation v :
+       {BatchValidation::kFull, BatchValidation::kFirstInference,
+        BatchValidation::kOff}) {
+    BatchOptions options;
+    options.num_threads = 2;
+    options.validation = v;
+    runs.push_back(BatchRunner(tiny_arch(), options).run(f.network, f.data));
+  }
+  const BatchResult& reference = runs.front();
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].results.size(), reference.results.size());
+    for (std::size_t i = 0; i < reference.results.size(); ++i)
+      EXPECT_EQ(runs[r].results[i], reference.results[i])
+          << "mode " << r << " input " << i;
+    EXPECT_EQ(runs[r].total_cycles, reference.total_cycles);
+    EXPECT_EQ(runs[r].total_events, reference.total_events);
+    EXPECT_EQ(runs[r].error_rate_percent, reference.error_rate_percent);
+  }
+}
+
+TEST(CompiledEngine, MismatchedArchitectureIsRejected) {
+  Rng rng{5};
+  const QuantizedNetwork q = seeded_network(rng);
+  ArchParams other = tiny_arch();
+  other.num_pes = 4;
+  other.router_levels = 1;
+  const CompiledNetwork compiled(q, other, true);
+
+  AcceleratorSim sim(tiny_arch());
+  const Vector x(24, 0.5f);
+  EXPECT_THROW((void)sim.run(compiled, x), std::invalid_argument);
+}
+
+TEST(CompiledEngine, ValidationStillCatchesDivergence) {
+  // kFull must keep the golden cross-check armed: a compiled image
+  // that no longer matches its source network (stale snapshot after a
+  // threshold change) trips the ensures().
+  Rng rng{9};
+  QuantizedNetwork q = seeded_network(rng);
+  const CompiledNetwork stale(q, tiny_arch(), true);
+  q.set_prediction_threshold(0.35);  // mutate AFTER compiling
+
+  AcceleratorSim sim(tiny_arch());
+  Vector x(24);
+  for (float& v : x)
+    v = rng.bernoulli(0.3) ? 0.0f
+                           : static_cast<float>(rng.uniform(0.5, 1.0));
+  // The stale image predicts with the old threshold; the golden model
+  // uses the new one. If the masks differ, kFull must throw; kOff must
+  // run through regardless (it trusts the image).
+  EXPECT_NO_THROW((void)sim.run(stale, x, ValidationMode::kOff));
+  SimResult from_stale = sim.run(stale, x, ValidationMode::kOff);
+  const SimResult from_fresh = AcceleratorSim(tiny_arch()).run(q, x, true);
+  if (from_stale.output != from_fresh.output) {
+    EXPECT_THROW((void)sim.run(stale, x, ValidationMode::kFull),
+                 InvariantError);
+  }
+}
+
+}  // namespace
+}  // namespace sparsenn

@@ -76,14 +76,17 @@ TEST(Lnzd, ScansMatchReference) {
 TEST(SramBank, CapacityEnforced) {
   SramBank bank("W", 1);  // 1KB = 512 words
   EXPECT_EQ(bank.capacity_words(), 512u);
-  EXPECT_NO_THROW(bank.load(std::vector<std::int16_t>(512, 1)));
-  EXPECT_THROW(bank.load(std::vector<std::int16_t>(513, 1)),
-               std::invalid_argument);
+  // The bank views caller-owned words (it no longer copies).
+  const std::vector<std::int16_t> fits(512, 1);
+  const std::vector<std::int16_t> overflows(513, 1);
+  EXPECT_NO_THROW(bank.load(fits));
+  EXPECT_THROW(bank.load(overflows), std::invalid_argument);
 }
 
 TEST(SramBank, RowAccessAndCounting) {
   SramBank bank("U", 1);
-  bank.load_rows({1, 2, 3, 4, 5, 6}, 3);
+  const std::vector<std::int16_t> words{1, 2, 3, 4, 5, 6};
+  bank.load_rows(words, 3);
   EXPECT_EQ(bank.num_rows(), 2u);
   EXPECT_EQ(bank.read_row_word(1, 2), 6);
   EXPECT_EQ(bank.reads(), 1u);
@@ -123,8 +126,9 @@ struct PeFixture {
 TEST(ProcessingElement, InputScatteringByModulo) {
   PeFixture f;
   ProcessingElement pe(1, f.params);
-  pe.load_layer(
-      make_pe_slice(f.quantized->layer(0), f.params, 1, true));
+  const OwnedPeSlice slice =
+      make_pe_slice(f.quantized->layer(0), f.params, 1, true);
+  pe.load_layer(slice.view);
   std::vector<std::int16_t> input{10, 11, 12, 13, 14, 15, 16, 17};
   pe.load_input(input);
   const auto nz = pe.scan_source_nonzeros();
@@ -148,8 +152,8 @@ TEST(ProcessingElement, WPhaseMatchesGoldenRows) {
 
   for (std::size_t pe_id = 0; pe_id < f.params.num_pes; ++pe_id) {
     ProcessingElement pe(pe_id, f.params);
-    const PeLayerSlice slice = make_pe_slice(layer, f.params, pe_id, true);
-    pe.load_layer(slice);
+    const OwnedPeSlice slice = make_pe_slice(layer, f.params, pe_id, true);
+    pe.load_layer(slice.view);
     pe.load_input(qx);
     pe.force_all_rows_active();
     pe.start_w_phase();
@@ -191,9 +195,11 @@ TEST(ProcessingElement, VAndUPhasesReproducePredictorBits) {
   const std::size_t rank = layer.rank();
   std::vector<std::int64_t> sums(rank, 0);
   std::vector<ProcessingElement> pes;
+  std::vector<OwnedPeSlice> slices;  // must outlive the PEs' use
   for (std::size_t id = 0; id < f.params.num_pes; ++id) {
     pes.emplace_back(id, f.params);
-    pes.back().load_layer(make_pe_slice(layer, f.params, id, true));
+    slices.push_back(make_pe_slice(layer, f.params, id, true));
+    pes.back().load_layer(slices.back().view);
     pes.back().load_input(qx);
     pes.back().start_v_phase();
     while (!pes.back().v_compute_done()) pes.back().step_v_compute();
@@ -230,16 +236,19 @@ TEST(ProcessingElement, CapacityViolationSurfaces) {
   p.w_mem_kb_per_pe = 1;  // 512 words only
   PeFixture f;
   ProcessingElement pe(0, p);
-  PeLayerSlice slice = make_pe_slice(f.quantized->layer(0), p, 0, true);
-  // Inflate the slice beyond 512 words.
+  OwnedPeSlice slice = make_pe_slice(f.quantized->layer(0), p, 0, true);
+  // Inflate the slice beyond 512 words and re-point the view.
   slice.w_words.assign(600, 1);
-  EXPECT_THROW(pe.load_layer(slice), std::invalid_argument);
+  slice.view.w_words = slice.w_words;
+  EXPECT_THROW(pe.load_layer(slice.view), std::invalid_argument);
 }
 
 TEST(ProcessingElement, EventCountersTrackWork) {
   PeFixture f;
   ProcessingElement pe(0, f.params);
-  pe.load_layer(make_pe_slice(f.quantized->layer(0), f.params, 0, true));
+  const OwnedPeSlice slice =
+      make_pe_slice(f.quantized->layer(0), f.params, 0, true);
+  pe.load_layer(slice.view);
   std::vector<std::int16_t> input(8, 100);
   pe.load_input(input);
   pe.force_all_rows_active();

@@ -4,9 +4,11 @@
 // and the seeded three-hidden-layer network they all exercise.
 
 #include <cstddef>
+#include <utility>
 
 #include "arch/params.hpp"
 #include "common/rng.hpp"
+#include "data/dataset.hpp"
 #include "nn/quantized.hpp"
 
 namespace sparsenn::test_fixtures {
@@ -35,6 +37,31 @@ inline QuantizedNetwork seeded_network(Rng& rng) {
   for (std::size_t i = 0; i < calib.size(); ++i)
     calib.flat()[i] = static_cast<float>(rng.uniform(0.0, 1.0));
   return QuantizedNetwork(net, calib);
+}
+
+/// The seeded network plus a synthetic labelled batch, built directly
+/// (no training) so the suites stay fast. Shared by batch_runner_test
+/// and compiled_engine_test.
+struct BatchFixture {
+  QuantizedNetwork network;
+  Dataset data;
+};
+
+inline BatchFixture make_batch_fixture(std::size_t num_samples,
+                                       std::uint64_t seed) {
+  Rng rng{seed};
+  QuantizedNetwork network = seeded_network(rng);
+
+  Dataset data;
+  data.inputs = Matrix(num_samples, 24);
+  for (std::size_t i = 0; i < data.inputs.size(); ++i) {
+    data.inputs.flat()[i] =
+        rng.bernoulli(0.4) ? 0.0f
+                           : static_cast<float>(rng.uniform(0.0, 1.0));
+  }
+  for (std::size_t i = 0; i < num_samples; ++i)
+    data.labels.push_back(static_cast<int>(rng.uniform_index(6)));
+  return BatchFixture{std::move(network), std::move(data)};
 }
 
 }  // namespace sparsenn::test_fixtures

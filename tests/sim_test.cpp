@@ -39,12 +39,13 @@ TEST(Schedule, SliceContainsInterleavedRowsAndColumns) {
   params.num_pes = 4;
   params.router_levels = 1;
 
-  const PeLayerSlice slice = make_pe_slice(q.layer(0), params, 1, true);
+  const OwnedPeSlice owned = make_pe_slice(q.layer(0), params, 1, true);
+  const PeLayerSlice& slice = owned.view;
   EXPECT_EQ(slice.layer_input_dim, 12u);
   EXPECT_EQ(slice.layer_output_dim, 10u);
   EXPECT_EQ(slice.rank, 3u);
   // PE 1 of 4, 10 rows: global rows 1, 5, 9.
-  EXPECT_EQ(slice.global_rows,
+  EXPECT_EQ(owned.global_rows,
             (std::vector<std::uint32_t>{1, 5, 9}));
   EXPECT_EQ(slice.w_words.size(), 3u * 12u);
   EXPECT_EQ(slice.u_words.size(), 3u * 3u);
@@ -54,6 +55,9 @@ TEST(Schedule, SliceContainsInterleavedRowsAndColumns) {
   EXPECT_EQ(slice.w_words[1 * 12 + 7], q.layer(0).w.at(5, 7));
   // And a V word: slot 1 covers global column 5; entry k=2.
   EXPECT_EQ(slice.v_words[1 * 3 + 2], q.layer(0).v->at(2, 5));
+  // The view spans the owned storage exactly.
+  EXPECT_EQ(slice.global_rows.data(), owned.global_rows.data());
+  EXPECT_EQ(slice.w_words.data(), owned.w_words.data());
 }
 
 TEST(Schedule, UvOffSliceDropsPredictor) {
@@ -62,10 +66,10 @@ TEST(Schedule, UvOffSliceDropsPredictor) {
   net.set_predictor(0, Predictor::random(10, 12, 3, rng));
   Matrix calib(2, 12, 0.5f);
   const QuantizedNetwork q(net, calib);
-  const PeLayerSlice slice =
+  const OwnedPeSlice slice =
       make_pe_slice(q.layer(0), tiny_arch(), 0, /*use_predictor=*/false);
-  EXPECT_FALSE(slice.has_predictor);
-  EXPECT_TRUE(slice.u_words.empty());
+  EXPECT_FALSE(slice.view.has_predictor);
+  EXPECT_TRUE(slice.view.u_words.empty());
 }
 
 /// End-to-end bit-exactness: random networks, random inputs, both
