@@ -4,22 +4,40 @@
 //   ./sim_throughput [--samples n] [--hidden h] [--uv on|off]
 //                    [--json-out path]
 //
-// Two engines run the same inputs through the same AcceleratorSim:
+// Four engines run the same inputs through the same AcceleratorSim:
 //
 //   "per_inference" — the seed engine's work profile: the network's
 //     per-PE slices are rebuilt for every inference and every layer is
 //     cross-checked against the functional golden model
-//     (AcceleratorSim::run(network, ...));
+//     (AcceleratorSim::run(network, ...)); this is also exactly what a
+//     repeated System::simulate() sweep cost before the system-level
+//     CompiledNetworkCache existed;
 //
 //   "compiled" — the network is compiled once (CompiledNetwork), the
 //     first inference runs with ValidationMode::kFull, and the rest
-//     run with validation off.
+//     run with validation off;
 //
-// The bench asserts the two engines' SimResults are bit-identical
-// before reporting, and counts heap allocations (via a global
-// operator new hook) to document the zero-allocation steady state of
-// the compiled cycle loop.
+//   "cached_sweep" — the System::simulate() sweep profile today: every
+//     inference fetches the image from a CompiledNetworkCache (always
+//     a hit after the first) and keeps the golden cross-check ON. The
+//     reported "cached_sweep_speedup" vs per_inference is the win the
+//     cache buys the fig/ablation single-shot sweeps;
+//
+//   "arena" — the compiled engine writing into a ResultArena
+//     (validation off): the steady state performs ZERO heap
+//     allocations per inference, and the bench exits nonzero if the
+//     counted number is anything but 0.
+//
+// A final section measures the BatchRunner keep_results=false path at
+// two batch sizes and reports the *marginal* allocations per extra
+// inference ("batch_arena_marginal_allocs_per_inference") — also
+// asserted to be exactly 0.
+//
+// The bench asserts all engines' SimResults are bit-identical before
+// reporting, and counts heap allocations via a global operator new
+// hook.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -31,38 +49,28 @@
 #include <string>
 #include <vector>
 
+#include "common/alloc_counter.hpp"
 #include "common/cli_args.hpp"
 #include "common/rng.hpp"
+#include "data/dataset.hpp"
 #include "nn/network.hpp"
 #include "nn/predictor.hpp"
 #include "nn/quantized.hpp"
 #include "nn/trainer.hpp"
 #include "sim/accelerator.hpp"
+#include "sim/batch_runner.hpp"
 #include "sim/compiled_network.hpp"
-
-// ---- allocation counter ----------------------------------------------
-// Counts every global operator new in this binary; the compiled engine
-// should allocate O(layers) per inference (result vectors), not
-// O(cycles).
-
-namespace {
-std::atomic<std::uint64_t> g_allocs{0};
-}  // namespace
-
-void* operator new(std::size_t size) {
-  ++g_allocs;
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc{};
-}
-void* operator new[](std::size_t size) { return ::operator new(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#include "sim/result_arena.hpp"
 
 namespace {
 
 using namespace sparsenn;
+
+// Shared global operator-new counting hook (also used by
+// tests/result_arena_test, so both measure the same definition of "a
+// heap allocation"): the compiled engine should allocate O(layers) per
+// inference (result vectors), the arena engine exactly 0.
+std::atomic<std::uint64_t>& g_allocs = alloc_counter::count();
 
 struct EngineStats {
   double wall_seconds = 0.0;
@@ -172,10 +180,90 @@ int main(int argc, char** argv) {
       compiled_stats.samples = samples;
     }
 
+    // ---- cached single-shot sweep (System::simulate profile) ----
+    // Same work as per_inference minus the recompile: cache hit + full
+    // golden validation on every call.
+    EngineStats cached_stats;
+    {
+      CompiledNetworkCache cache(arch);
+      const std::uint64_t allocs_before = g_allocs.load();
+      const auto start = clock::now();
+      for (std::size_t i = 0; i < samples; ++i) {
+        const SimResult r = sim.run(cache.get(quantized, use_predictor),
+                                    inputs[i], ValidationMode::kFull);
+        cached_stats.cycles += r.total_cycles;
+        identical = identical && r == reference[i];
+      }
+      cached_stats.wall_seconds =
+          std::chrono::duration<double>(clock::now() - start).count();
+      cached_stats.allocs = g_allocs.load() - allocs_before;
+      cached_stats.samples = samples;
+    }
+
+    // ---- arena engine (allocation-free steady state) ----
+    EngineStats arena_stats;
+    {
+      const CompiledNetwork compiled(quantized, arch, use_predictor);
+      ResultArena arena(compiled);
+      // Warm-up: grows the simulator-side scratch to steady capacity.
+      identical = identical &&
+                  sim.run(compiled, inputs[0], arena,
+                          ValidationMode::kOff) == reference[0];
+      const std::uint64_t allocs_before = g_allocs.load();
+      const auto start = clock::now();
+      for (std::size_t i = 0; i < samples; ++i) {
+        const SimResult& r =
+            sim.run(compiled, inputs[i], arena, ValidationMode::kOff);
+        arena_stats.cycles += r.total_cycles;
+        identical = identical && r == reference[i];
+      }
+      arena_stats.wall_seconds =
+          std::chrono::duration<double>(clock::now() - start).count();
+      arena_stats.allocs = g_allocs.load() - allocs_before;
+      arena_stats.samples = samples;
+    }
+
+    // ---- batch arena path: marginal allocations per inference ----
+    // keep_results=false batches fold arena-held results into worker
+    // accumulators; setup (threads, sims, arenas, first validated
+    // inference) allocates, so measure the same batch at half and full
+    // size and report the marginal cost of the extra inferences.
+    double batch_marginal_allocs = 0.0;
+    {
+      Dataset batch_data;
+      batch_data.inputs = Matrix(samples, 784);
+      for (std::size_t i = 0; i < samples; ++i)
+        std::copy(inputs[i].begin(), inputs[i].end(),
+                  batch_data.inputs.row(i).begin());
+      BatchOptions options;
+      options.num_threads = 1;  // deterministic setup cost
+      options.use_predictor = use_predictor;
+      options.keep_results = false;
+      const auto count = [&](std::size_t n) {
+        BatchOptions o = options;
+        o.max_samples = n;
+        const BatchRunner runner(arch, o);
+        const std::uint64_t before = g_allocs.load();
+        (void)runner.run(quantized, batch_data);
+        return g_allocs.load() - before;
+      };
+      const std::size_t half = std::max<std::size_t>(samples / 2, 1);
+      (void)count(half);  // warm process-global state
+      const std::uint64_t small = count(half);
+      const std::uint64_t large = count(samples);
+      batch_marginal_allocs =
+          samples > half ? static_cast<double>(large - small) /
+                               static_cast<double>(samples - half)
+                         : 0.0;
+    }
+
+    const auto ratio = [](double a, double b) {
+      return a > 0.0 && b > 0.0 ? a / b : 0.0;
+    };
     const double speedup =
-        per_inference.wall_seconds > 0.0 && compiled_stats.wall_seconds > 0.0
-            ? per_inference.wall_seconds / compiled_stats.wall_seconds
-            : 0.0;
+        ratio(per_inference.wall_seconds, compiled_stats.wall_seconds);
+    const double cached_sweep_speedup =
+        ratio(per_inference.wall_seconds, cached_stats.wall_seconds);
 
     std::string json;
     {
@@ -185,7 +273,16 @@ int main(int argc, char** argv) {
       print_engine(os, "per_inference", per_inference);
       os << ",\n";
       print_engine(os, "compiled", compiled_stats);
+      os << ",\n";
+      print_engine(os, "cached_sweep", cached_stats);
+      os << ",\n";
+      print_engine(os, "arena", arena_stats);
       os << ",\n  \"speedup\": " << speedup
+         << ",\n  \"cached_sweep_speedup\": " << cached_sweep_speedup
+         << ",\n  \"arena_allocs_per_inference\": "
+         << arena_stats.allocs_per_inference()
+         << ",\n  \"batch_arena_marginal_allocs_per_inference\": "
+         << batch_marginal_allocs
          << ",\n  \"bit_identical\": " << (identical ? "true" : "false")
          << "\n}\n";
       json = os.str();
@@ -197,8 +294,20 @@ int main(int argc, char** argv) {
       std::cout << "# written to " << json_out << "\n";
     }
     if (!identical) {
-      std::cerr << "error: compiled engine diverged from the "
-                   "per-inference engine\n";
+      std::cerr << "error: an engine diverged from the per-inference "
+                   "engine\n";
+      return 1;
+    }
+    if (arena_stats.allocs != 0) {
+      std::cerr << "error: arena path performed "
+                << arena_stats.allocs << " heap allocations over "
+                << samples << " inferences (expected 0)\n";
+      return 1;
+    }
+    if (batch_marginal_allocs != 0.0) {
+      std::cerr << "error: batch arena path allocated "
+                << batch_marginal_allocs
+                << " per marginal inference (expected 0)\n";
       return 1;
     }
     return 0;

@@ -139,12 +139,17 @@ int cmd_simulate(const Args& args) {
   const std::string uv = args.get("uv", "both");
   const EnergyModel energy{ArchParams::paper()};
 
+  // One compiled image per uv mode, fetched through the cache (the
+  // same machinery System uses); single runs keep the golden-model
+  // cross-check on (ValidationMode::kFull is the default), and the
+  // cross-check always runs against the matching uv mode's golden
+  // path — uv_off validates against the EIE-style all-rows model.
+  CompiledNetworkCache cache(ArchParams::paper());
+
   Table table({"mode", "mean cycles", "mean power(mW)", "mean uJ"});
   for (const bool on : {true, false}) {
     if ((on && uv == "off") || (!on && uv == "on")) continue;
-    // Compile once per uv mode; single runs keep the golden-model
-    // cross-check on (ValidationMode::kFull is the default).
-    const CompiledNetwork compiled(quantized, ArchParams::paper(), on);
+    const CompiledNetwork& compiled = cache.get(quantized, on);
     double cycles = 0.0;
     double mw = 0.0;
     double uj = 0.0;

@@ -5,7 +5,8 @@
 
 namespace sparsenn {
 
-System::System(SystemOptions options) : options_(std::move(options)) {
+System::System(SystemOptions options)
+    : options_(std::move(options)), cache_(options_.arch) {
   options_.arch.validate();
   expects(options_.topology.size() >= 2, "topology too small");
   for (std::size_t width : options_.topology) {
@@ -27,6 +28,12 @@ void System::prepare() {
   log_info("system", "quantising to 16-bit fixed point");
   quantized_.emplace(model_->network, split_->train.inputs);
   sim_.emplace(options_.arch);
+
+  // A re-prepare()d network carries a fresh uid, so images compiled
+  // from the previous one can never be served again (the cache key is
+  // (uid, epoch), not the address) — drop them eagerly.
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  cache_.invalidate();
 }
 
 const DatasetSplit& System::dataset() const {
@@ -52,16 +59,19 @@ const QuantizedNetwork& System::quantized() const {
 SimResult System::simulate(std::size_t test_index, bool use_predictor) {
   expects(prepared(), "call prepare() first");
   expects(test_index < split_->test.size(), "test index out of range");
-  return sim_->run(*quantized_, split_->test.image(test_index),
-                   use_predictor);
+  // Cached compile + full golden validation: bit-identical to the
+  // one-shot sim_->run(network, …) path, minus the per-call recompile.
+  return sim_->run(compiled(use_predictor), split_->test.image(test_index),
+                   ValidationMode::kFull);
 }
 
 BatchResult System::simulate_batch(const BatchOptions& options) const {
   expects(prepared(), "call prepare() first");
-  // BatchRunner compiles the network's per-PE slice image once and
-  // shares it read-only across its workers (sim/compiled_network.hpp).
+  // The per-PE slice image comes from the system cache and is shared
+  // read-only across the runner's workers (sim/compiled_network.hpp),
+  // and across repeated batches at the same network epoch.
   const BatchRunner runner(options_.arch, options);
-  return runner.run(*quantized_, split_->test);
+  return runner.run(compiled(options.use_predictor), split_->test);
 }
 
 HardwareComparison System::compare_hardware(std::size_t samples) {
@@ -94,11 +104,11 @@ HardwareComparison System::compare_hardware(std::size_t samples) {
     }
   };
 
-  // Compile each uv mode once for the whole sweep; the first sample
-  // runs with the golden cross-check, the rest trust the engine
-  // (results are bit-identical either way).
-  const CompiledNetwork compiled_on(*quantized_, options_.arch, true);
-  const CompiledNetwork compiled_off(*quantized_, options_.arch, false);
+  // Both uv images from the cache (one slot each, so they coexist);
+  // the first sample runs with the golden cross-check, the rest trust
+  // the engine (results are bit-identical either way).
+  const CompiledNetwork& compiled_on = compiled(true);
+  const CompiledNetwork& compiled_off = compiled(false);
   for (std::size_t i = 0; i < samples; ++i) {
     const ValidationMode mode =
         i == 0 ? ValidationMode::kFull : ValidationMode::kOff;
@@ -128,6 +138,10 @@ HardwareComparison System::compare_hardware(std::size_t samples) {
 void System::set_prediction_threshold(double threshold) {
   expects(prepared(), "call prepare() first");
   quantized_->set_prediction_threshold(threshold);
+  // The epoch bump above already marks every cached image stale; drop
+  // them eagerly so a threshold sweep never holds two dead images.
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  cache_.invalidate();
 }
 
 AreaBreakdown System::area() const { return compute_area(options_.arch); }

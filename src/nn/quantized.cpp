@@ -1,7 +1,9 @@
 #include "nn/quantized.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <utility>
 
 #include "common/check.hpp"
 #include "tensor/ops.hpp"
@@ -44,6 +46,37 @@ std::int16_t rescale_to_i16(std::int64_t acc, int from_frac,
   }
   return static_cast<std::int16_t>(
       std::clamp<std::int64_t>(shifted, -32768, 32767));
+}
+
+std::uint64_t QuantizedNetwork::next_uid() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+QuantizedNetwork::QuantizedNetwork(const QuantizedNetwork& other)
+    : layers_(other.layers_) {}
+
+QuantizedNetwork::QuantizedNetwork(QuantizedNetwork&& other) noexcept
+    : layers_(std::move(other.layers_)) {
+  other.uid_ = next_uid();
+}
+
+QuantizedNetwork& QuantizedNetwork::operator=(
+    const QuantizedNetwork& other) {
+  layers_ = other.layers_;
+  uid_ = next_uid();
+  epoch_ = 0;
+  return *this;
+}
+
+QuantizedNetwork& QuantizedNetwork::operator=(
+    QuantizedNetwork&& other) noexcept {
+  if (this == &other) return *this;
+  layers_ = std::move(other.layers_);
+  uid_ = next_uid();
+  epoch_ = 0;
+  other.uid_ = next_uid();
+  return *this;
 }
 
 QuantizedNetwork::QuantizedNetwork(const Network& network,
@@ -92,6 +125,18 @@ std::vector<std::int16_t> QuantizedNetwork::quantize_input(
   expects(input.size() == layers_.front().w.cols,
           "input dimension mismatch");
   return quantize(input, layers_.front().in_fmt);
+}
+
+void QuantizedNetwork::quantize_input_into(
+    std::span<const float> input, std::vector<std::int16_t>& out) const {
+  expects(!layers_.empty(), "empty network");
+  expects(input.size() == layers_.front().w.cols,
+          "input dimension mismatch");
+  const FixedPointFormat fmt = layers_.front().in_fmt;
+  out.clear();
+  out.reserve(input.size());
+  for (const float v : input)
+    out.push_back(Fixed16::quantize_raw(v, fmt));
 }
 
 QuantizedLayerResult QuantizedNetwork::forward_layer(
@@ -170,6 +215,7 @@ Vector QuantizedNetwork::infer(std::span<const float> input,
 void QuantizedNetwork::set_prediction_threshold(double threshold) {
   for (QuantizedLayer& layer : layers_)
     if (layer.has_predictor()) layer.prediction_threshold = threshold;
+  ++epoch_;  // invalidates every compiled snapshot of this network
 }
 
 double QuantizedNetwork::test_error_rate(const Matrix& inputs,

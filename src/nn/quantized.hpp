@@ -78,6 +78,19 @@ class QuantizedNetwork {
   QuantizedNetwork(const Network& network, const Matrix& calibration,
                    std::size_t calibration_limit = 64);
 
+  // Every constructed object — including copies and move targets —
+  // gets a fresh uid(), and assignment refreshes the target's uid:
+  // identity tracks the *object's content history*, not the address.
+  // (An address can be reused: System::prepare() re-emplaces its
+  // network into the same std::optional slot, so an address+epoch key
+  // would let a CompiledNetworkCache serve the previous network's
+  // image.) Moved-from sources are also re-identified so a cached
+  // image can never match their gutted state.
+  QuantizedNetwork(const QuantizedNetwork& other);
+  QuantizedNetwork(QuantizedNetwork&& other) noexcept;
+  QuantizedNetwork& operator=(const QuantizedNetwork& other);
+  QuantizedNetwork& operator=(QuantizedNetwork&& other) noexcept;
+
   std::size_t num_layers() const noexcept { return layers_.size(); }
   const QuantizedLayer& layer(std::size_t l) const {
     return layers_.at(l);
@@ -85,6 +98,12 @@ class QuantizedNetwork {
 
   std::vector<std::int16_t> quantize_input(
       std::span<const float> input) const;
+
+  /// Allocation-free variant: quantises into `out` (cleared and
+  /// refilled; capacity is reused across calls). Hot-path form used by
+  /// the simulator's ResultArena entry point.
+  void quantize_input_into(std::span<const float> input,
+                           std::vector<std::int16_t>& out) const;
 
   /// Executes one layer exactly as the hardware would: V then U to get
   /// the predictor bits, then the masked W pass. With
@@ -108,11 +127,28 @@ class QuantizedNetwork {
                          bool use_predictor = true) const;
 
   /// Sets the deploy-time prediction threshold θ on every predictor
-  /// layer (see QuantizedLayer::prediction_threshold).
+  /// layer (see QuantizedLayer::prediction_threshold). Bumps epoch().
   void set_prediction_threshold(double threshold);
 
+  /// Monotone mutation counter. Every mutator (today:
+  /// set_prediction_threshold; any future one must do the same)
+  /// increments it, so snapshot consumers — sim::CompiledNetwork and
+  /// the sim::CompiledNetworkCache — can detect a stale image exactly
+  /// instead of silently diverging from the source network.
+  std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// Process-unique object identity (see the special-member comment
+  /// above). (uid, epoch) uniquely names one immutable network state
+  /// for the lifetime of the process; snapshot consumers key on the
+  /// pair rather than the object's address.
+  std::uint64_t uid() const noexcept { return uid_; }
+
  private:
+  static std::uint64_t next_uid() noexcept;
+
   std::vector<QuantizedLayer> layers_;
+  std::uint64_t uid_ = next_uid();
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace sparsenn

@@ -115,6 +115,13 @@ class BroadcastChannel {
     now_ = 0;
   }
 
+  /// Pre-sizes the in-flight FIFO for a phase that will send at most
+  /// `flits` (the simulator knows the exact bound: rank for the V
+  /// phase, the nonzero-input count for the W phase), so send() never
+  /// reallocates mid-phase — part of the allocation-free steady-state
+  /// contract of the arena entry point.
+  void reserve(std::size_t flits) { in_flight_.reserve(flits); }
+
  private:
   struct Timed {
     Flit flit;

@@ -39,6 +39,23 @@ void ProcessingElement::load_layer(const PeLayerSlice& slice) {
   predictor_bits_.assign(slice.global_rows.size(), 0);
   v_results_.assign(slice.rank, 0);
   v_results_received_ = 0;
+
+  // Upper-bound the per-phase scratch so the phases below never grow a
+  // buffer mid-inference: the scan outputs hold at most one flit per
+  // local input slot, the row-indexed buffers at most one entry per
+  // mapped row. Reserving here (no-op once warm) makes the steady
+  // state allocation-free for every input, not just for inputs no
+  // denser than those already seen.
+  const std::size_t rows = slice.global_rows.size();
+  const std::size_t slots =
+      (slice.layer_input_dim + num_pes_ - 1) / num_pes_;
+  scan_buffer_.reserve(slots);
+  v_inputs_.reserve(slots);
+  w_injections_.reserve(slots);
+  v_partials_.reserve(slice.rank);
+  w_accumulators_.reserve(rows);
+  active_local_rows_.reserve(rows);
+  write_back_buffer_.reserve(rows);
 }
 
 void ProcessingElement::load_input(

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/logging.hpp"
+#include "sim/result_arena.hpp"
 
 namespace sparsenn {
 namespace {
@@ -42,25 +43,56 @@ SimResult AcceleratorSim::run(const QuantizedNetwork& network,
 SimResult AcceleratorSim::run(const CompiledNetwork& compiled,
                               std::span<const float> input,
                               ValidationMode validation) {
+  SimResult result;
+  std::vector<std::int16_t> input_scratch;
+  run_into(compiled, input, validation, input_scratch, result);
+  return result;
+}
+
+const SimResult& AcceleratorSim::run(const CompiledNetwork& compiled,
+                                     std::span<const float> input,
+                                     ResultArena& arena,
+                                     ValidationMode validation) {
+  run_into(compiled, input, validation, arena.input_scratch(),
+           arena.result());
+  return arena.result();
+}
+
+void AcceleratorSim::run_into(const CompiledNetwork& compiled,
+                              std::span<const float> input,
+                              ValidationMode validation,
+                              std::vector<std::int16_t>& input_scratch,
+                              SimResult& out) {
   expects(compiled.num_pes() == pes_.size(),
           "CompiledNetwork was built for a different PE count");
+  expects(!compiled.stale(),
+          "CompiledNetwork is stale: the source network mutated after "
+          "compilation (e.g. set_prediction_threshold) — recompile, or "
+          "fetch through a CompiledNetworkCache");
   const QuantizedNetwork& network = compiled.network();
-  const std::vector<std::int16_t> quantized = network.quantize_input(input);
+  network.quantize_input_into(input, input_scratch);
+
+  // Reserving the compiled image's worst-case broadcast occupancy up
+  // front keeps every send() allocation-free regardless of input
+  // density — a no-op once the channel has seen this network.
+  broadcast_.reserve(compiled.max_broadcast_flits());
 
   // Scatter the input across the PEs' source register files.
-  for (auto& pe : pes_) pe.load_input(quantized);
+  for (auto& pe : pes_) pe.load_input(input_scratch);
 
   // Golden reference, computed layer by layer alongside the simulation
   // when validating.
   const bool validate = validation == ValidationMode::kFull;
   std::vector<std::int16_t> golden;
-  if (validate) golden = quantized;
+  if (validate) golden.assign(input_scratch.begin(), input_scratch.end());
 
   if (trace_) trace_->begin_inference();
 
-  SimResult result;
+  out.total_cycles = 0;
+  out.layers.resize(compiled.num_layers());
   for (std::size_t l = 0; l < compiled.num_layers(); ++l) {
-    LayerSimResult layer = run_layer(compiled, l);
+    LayerSimResult& layer = out.layers[l];
+    run_layer_into(compiled, l, layer);
 
     if (validate) {
       const QuantizedLayerResult golden_layer =
@@ -70,21 +102,31 @@ SimResult AcceleratorSim::run(const CompiledNetwork& compiled,
       golden = golden_layer.activations;
     }
 
-    result.total_cycles += layer.total_cycles;
-    result.layers.push_back(std::move(layer));
+    out.total_cycles += layer.total_cycles;
     for (auto& pe : pes_) pe.swap_regfiles();
   }
   // The simulated activations equal the golden ones whenever validation
   // runs, so the output is the last layer's activations either way.
-  result.output =
-      validate ? std::move(golden) : result.layers.back().activations;
-  return result;
+  const std::vector<std::int16_t>& produced =
+      validate ? golden : out.layers.back().activations;
+  out.output.assign(produced.begin(), produced.end());
 }
 
-LayerSimResult AcceleratorSim::run_layer(const CompiledNetwork& compiled,
-                                         std::size_t l) {
+void AcceleratorSim::run_layer_into(const CompiledNetwork& compiled,
+                                    std::size_t l, LayerSimResult& result) {
   const QuantizedLayer& layer = compiled.network().layer(l);
-  LayerSimResult result;
+  // The result slot may be reused storage from a previous inference:
+  // reset every counter; activations is assign()ed below, which reuses
+  // its capacity.
+  result.v_cycles = 0;
+  result.u_cycles = 0;
+  result.w_cycles = 0;
+  result.total_cycles = 0;
+  result.events = EventCounts{};
+  result.w_noc = NocStats{};
+  result.v_noc = NocStats{};
+  result.nnz_inputs = 0;
+  result.active_rows = 0;
 
   for (auto& pe : pes_) {
     pe.reset_events();
@@ -144,7 +186,6 @@ LayerSimResult AcceleratorSim::run_layer(const CompiledNetwork& compiled,
     emit("W", result.w_cycles, result.w_noc.flit_hops,
          result.events.w_mem_reads);
   }
-  return result;
 }
 
 std::uint64_t AcceleratorSim::simulate_v_phase(const QuantizedLayer& layer,

@@ -24,8 +24,19 @@
 //   run(compiled, input, mode) — the batch hot path: slices come from a
 //     shared read-only CompiledNetwork, the NoC and all PE scratch are
 //     reused in place, and the golden-model cross-check is a
-//     ValidationMode knob. Results are bit-identical across both entry
-//     points and both modes; only the wall-clock differs.
+//     ValidationMode knob;
+//
+//   run(compiled, input, arena, mode) — the same engine writing its
+//     SimResult into caller-owned storage (sim/result_arena.hpp): with
+//     validation off the whole inference performs zero heap
+//     allocations in steady state.
+//
+// Results are bit-identical across all entry points and modes; only
+// the wall-clock and allocation profile differ. A stale compiled image
+// (the source network mutated after compilation — see
+// QuantizedNetwork::epoch) is rejected with a precondition failure by
+// every compiled entry point instead of silently simulating outdated
+// weights.
 //
 // The steady-state cycle loop performs no heap allocation: the trees,
 // broadcast channel, queues and scan buffers are preallocated members
@@ -81,6 +92,8 @@ struct SimResult {
   friend bool operator==(const SimResult&, const SimResult&) = default;
 };
 
+class ResultArena;  // sim/result_arena.hpp — holds SimResult storage
+
 class AcceleratorSim {
  public:
   explicit AcceleratorSim(const ArchParams& params);
@@ -98,17 +111,36 @@ class AcceleratorSim {
 
   /// Runs one inference from a pre-compiled network (see
   /// sim/compiled_network.hpp). `compiled` must have been built with
-  /// this simulator's ArchParams and must outlive the call.
+  /// this simulator's ArchParams, must not be stale(), and must
+  /// outlive the call.
   SimResult run(const CompiledNetwork& compiled,
                 std::span<const float> input,
                 ValidationMode validation = ValidationMode::kFull);
+
+  /// Same engine, but the SimResult and all its vectors live in
+  /// `arena` (see sim/result_arena.hpp): with ValidationMode::kOff the
+  /// inference is allocation-free in steady state. The returned
+  /// reference is into the arena and is overwritten by the next run
+  /// using it.
+  const SimResult& run(const CompiledNetwork& compiled,
+                       std::span<const float> input, ResultArena& arena,
+                       ValidationMode validation = ValidationMode::kFull);
 
   /// Attaches a trace log; every subsequent run() appends per-phase
   /// records. Pass nullptr to detach. The log must outlive the sim.
   void set_trace(TraceLog* trace) noexcept { trace_ = trace; }
 
  private:
-  LayerSimResult run_layer(const CompiledNetwork& compiled, std::size_t l);
+  /// Shared implementation of every entry point: quantises the input
+  /// into `input_scratch`, simulates every layer into `out` (reusing
+  /// whatever capacity `out` already carries — the arena path's
+  /// zero-allocation property).
+  void run_into(const CompiledNetwork& compiled,
+                std::span<const float> input, ValidationMode validation,
+                std::vector<std::int16_t>& input_scratch, SimResult& out);
+
+  void run_layer_into(const CompiledNetwork& compiled, std::size_t l,
+                      LayerSimResult& result);
 
   std::uint64_t simulate_v_phase(const QuantizedLayer& layer,
                                  LayerSimResult& result);

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "sim/result_arena.hpp"
 
 namespace sparsenn {
 
@@ -106,6 +107,13 @@ BatchResult BatchRunner::run(const CompiledNetwork& compiled,
           "CompiledNetwork was built for a different PE count");
   expects(compiled.use_predictor() == options_.use_predictor,
           "CompiledNetwork was built for the other uv mode");
+  // The per-inference engine re-checks this, but failing here keeps the
+  // stale-snapshot error on the calling thread instead of surfacing as
+  // a rethrown worker exception after threads have spun up.
+  expects(!compiled.stale(),
+          "CompiledNetwork is stale: the source network mutated after "
+          "compilation — recompile, or fetch through a "
+          "CompiledNetworkCache");
 
   // Count images, not labels: an unlabeled dataset (inputs only) is
   // still runnable — it just reports error_rate_percent = -1.
@@ -130,24 +138,30 @@ BatchResult BatchRunner::run(const CompiledNetwork& compiled,
   const auto worker = [&](std::size_t worker_id) {
     // One private simulator per worker: AcceleratorSim carries per-PE
     // register files and event counters across run() calls. The
-    // compiled image is shared read-only.
+    // compiled image is shared read-only. Aggregate-only workers also
+    // carry a private ResultArena, pre-sized for the compiled image,
+    // so their steady-state inferences are allocation-free: the
+    // SimResult is folded into the accumulator and its storage reused.
     AcceleratorSim sim(params_);
+    ResultArena arena;
+    if (!options_.keep_results) arena.reserve(compiled);
     bool validated_one = false;
     try {
       while (true) {
         const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
         if (i >= total) break;
-        const bool validate =
+        const ValidationMode mode =
             options_.validation == BatchValidation::kFull ||
-            (options_.validation == BatchValidation::kFirstInference &&
-             !validated_one);
-        SimResult r = sim.run(compiled, data.image(i),
-                              validate ? ValidationMode::kFull
-                                       : ValidationMode::kOff);
+                    (options_.validation ==
+                         BatchValidation::kFirstInference &&
+                     !validated_one)
+                ? ValidationMode::kFull
+                : ValidationMode::kOff;
         validated_one = true;
         if (options_.keep_results) {
-          results[i] = std::move(r);
+          results[i] = sim.run(compiled, data.image(i), mode);
         } else {
+          const SimResult& r = sim.run(compiled, data.image(i), arena, mode);
           const bool is_correct =
               have_labels &&
               argmax_i16(r.output) ==

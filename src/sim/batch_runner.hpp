@@ -13,6 +13,13 @@
 // totals are therefore bit-identical regardless of thread count or OS
 // scheduling: integer sums over a fixed sequence do not depend on
 // which worker produced each element.
+//
+// With keep_results=false each worker folds inferences into a private
+// accumulator through a per-worker ResultArena
+// (sim/result_arena.hpp): after its first (validated) inference a
+// worker performs zero heap allocations per inference —
+// bench/sim_throughput asserts the marginal allocation count is
+// exactly 0 and tests/result_arena_test pins it.
 
 #include <cstdint>
 #include <vector>

@@ -1,5 +1,7 @@
 #include "sim/compiled_network.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 #include "sim/schedule.hpp"
 
@@ -11,7 +13,9 @@ CompiledNetwork::CompiledNetwork(const QuantizedNetwork& network,
     : network_(&network),
       params_(params),
       use_predictor_(use_predictor),
-      num_layers_(network.num_layers()) {
+      num_layers_(network.num_layers()),
+      source_uid_(network.uid()),
+      source_epoch_(network.epoch()) {
   params_.validate();
 
   // First pass: build the pools while recording each slice's extents.
@@ -29,6 +33,11 @@ CompiledNetwork::CompiledNetwork(const QuantizedNetwork& network,
 
   for (std::size_t l = 0; l < num_layers_; ++l) {
     const QuantizedLayer& layer = network.layer(l);
+    // Worst-case broadcast occupancy of this layer's phases: the V
+    // phase multicasts `rank` results, the W phase one flit per
+    // nonzero input (≤ the layer's input width).
+    max_broadcast_flits_ =
+        std::max({max_broadcast_flits_, layer.w.cols, layer.rank()});
     for (std::size_t pe = 0; pe < params_.num_pes; ++pe) {
       Extents e{rows_pool_.size(), 0, w_pool_.size(), 0,
                 u_pool_.size(),    0, v_pool_.size(), 0};
@@ -51,6 +60,30 @@ CompiledNetwork::CompiledNetwork(const QuantizedNetwork& network,
     s.u_words = {u_pool_.data() + e.u_off, e.u_len};
     s.v_words = {v_pool_.data() + e.v_off, e.v_len};
   }
+}
+
+CompiledNetworkCache::CompiledNetworkCache(const ArchParams& params)
+    : params_(params) {
+  params_.validate();
+}
+
+const CompiledNetwork& CompiledNetworkCache::get(
+    const QuantizedNetwork& network, bool use_predictor) {
+  std::optional<CompiledNetwork>& entry = entries_[use_predictor ? 1 : 0];
+  // compiled_from() keys on stored (uid, epoch) — it never touches the
+  // cached entry's network pointer, which may dangle if the source
+  // network died or was re-emplaced since the entry was compiled.
+  const bool hit = entry.has_value() && entry->compiled_from(network);
+  if (!hit) {
+    entry.emplace(network, params_, use_predictor);
+    ++compile_count_;
+  }
+  return *entry;
+}
+
+void CompiledNetworkCache::invalidate() noexcept {
+  entries_[0].reset();
+  entries_[1].reset();
 }
 
 }  // namespace sparsenn

@@ -15,12 +15,21 @@
 // The compiled image is immutable and read-only shared: every layer,
 // every inference and every BatchRunner worker thread reads the same
 // storage concurrently without synchronisation. It snapshots the
-// network at compile time — recompile after mutating the source (e.g.
-// QuantizedNetwork::set_prediction_threshold). The referenced
+// network at compile time and records the network's mutation epoch
+// (QuantizedNetwork::epoch); mutating the source afterwards (e.g.
+// set_prediction_threshold) makes the image stale(), and every run
+// entry point rejects a stale image with a precondition failure
+// instead of silently simulating outdated weights. The referenced
 // QuantizedNetwork and the chosen ArchParams must outlive the
 // CompiledNetwork.
+//
+// CompiledNetworkCache closes the remaining recompile-per-call hole:
+// single-shot sweeps (System::simulate, the CLI simulate command, the
+// fig/ablation benches) ask the cache instead of compiling, and the
+// cache re-uses one image per uv mode until the network epoch moves.
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "arch/params.hpp"
@@ -50,6 +59,38 @@ class CompiledNetwork {
   std::size_t num_layers() const noexcept { return num_layers_; }
   std::size_t num_pes() const noexcept { return params_.num_pes; }
 
+  /// The network identity/epoch this image was compiled at (see
+  /// QuantizedNetwork::uid): stored values, safe to read even after
+  /// the source network has been destroyed.
+  std::uint64_t source_uid() const noexcept { return source_uid_; }
+  std::uint64_t source_epoch() const noexcept { return source_epoch_; }
+  /// True when the source network mutated (epoch moved) or was
+  /// re-identified (assigned over — uid moved) after compilation; a
+  /// stale image no longer matches the network and must not be
+  /// simulated.
+  bool stale() const noexcept {
+    return network_->uid() != source_uid_ ||
+           network_->epoch() != source_epoch_;
+  }
+
+  /// Whether this image was compiled from `network` at its current
+  /// state. Unlike an address comparison this can never confuse two
+  /// networks that reused the same storage (e.g. re-emplaced into the
+  /// same std::optional slot), and it touches only `network` and
+  /// stored values — never the possibly-dead source pointer.
+  bool compiled_from(const QuantizedNetwork& network) const noexcept {
+    return network.uid() == source_uid_ &&
+           network.epoch() == source_epoch_;
+  }
+
+  /// Worst-case broadcast-channel occupancy of any phase of any layer
+  /// (rank for V, input width for W) — the simulator pre-sizes the
+  /// channel with this once per run, keeping send() allocation-free
+  /// regardless of input density.
+  std::size_t max_broadcast_flits() const noexcept {
+    return max_broadcast_flits_;
+  }
+
   /// The read-only slice of layer `layer` mapped to PE `pe`.
   const PeLayerSlice& slice(std::size_t layer, std::size_t pe) const {
     return slices_.at(layer * params_.num_pes + pe);
@@ -65,6 +106,9 @@ class CompiledNetwork {
   ArchParams params_;
   bool use_predictor_;
   std::size_t num_layers_;
+  std::uint64_t source_uid_;
+  std::uint64_t source_epoch_;
+  std::size_t max_broadcast_flits_ = 0;
 
   // Packed storage, layer-major then PE-major; never resized after
   // construction so the views below stay valid for the object's life.
@@ -74,6 +118,42 @@ class CompiledNetwork {
   std::vector<std::int16_t> v_pool_;
 
   std::vector<PeLayerSlice> slices_;  ///< [layer * num_pes + pe]
+};
+
+/// Memoises compiled images keyed on (network uid+epoch, the
+/// cache's ArchParams, uv mode). One slot per uv mode is enough: a
+/// sweep alternating uv_on/uv_off (compare_hardware, the CLI's
+/// `--uv both`) keeps both images warm simultaneously. get() recompiles
+/// only when the slot is empty, a different network is passed (uids
+/// differ — address reuse cannot fool this key), or the network epoch
+/// moved (any mutation, e.g. set_prediction_threshold);
+/// compile_count() exposes how many real compilations happened so
+/// callers/tests can assert cache behaviour. The cache owns its images:
+/// a returned reference stays valid until the next get() for the same
+/// uv mode or invalidate(). Not thread-safe — share the returned
+/// CompiledNetwork across threads, not concurrent get() calls.
+class CompiledNetworkCache {
+ public:
+  explicit CompiledNetworkCache(const ArchParams& params);
+
+  const ArchParams& params() const noexcept { return params_; }
+
+  /// The compiled image for (network@its-current-epoch, uv mode),
+  /// compiling at most once per distinct key.
+  const CompiledNetwork& get(const QuantizedNetwork& network,
+                             bool use_predictor);
+
+  /// Drops both cached images (e.g. when the source network dies
+  /// before the cache does, or to release the memory eagerly).
+  void invalidate() noexcept;
+
+  /// Total real compilations performed by get() so far.
+  std::uint64_t compile_count() const noexcept { return compile_count_; }
+
+ private:
+  ArchParams params_;
+  std::optional<CompiledNetwork> entries_[2];  ///< [uv_off, uv_on]
+  std::uint64_t compile_count_ = 0;
 };
 
 }  // namespace sparsenn

@@ -107,6 +107,42 @@ TEST(BatchRunner, MoreThreadsThanInputs) {
   EXPECT_EQ(result.results.size(), 3u);
 }
 
+TEST(BatchRunner, MaxSamplesLargerThanDatasetClamps) {
+  // Asking for more samples than exist must clamp to the dataset size,
+  // never index past it — and the clamped run must be bit-identical to
+  // simply running the whole dataset.
+  const Fixture f = make_batch_fixture(6, /*seed=*/43);
+  BatchOptions options;
+  options.num_threads = 2;
+  options.max_samples = 100;  // dataset has 6
+  const BatchResult clamped =
+      BatchRunner(tiny_arch(), options).run(f.network, f.data);
+  EXPECT_EQ(clamped.num_inferences, 6u);
+  ASSERT_EQ(clamped.results.size(), 6u);
+
+  const BatchResult whole = run_batch(f, /*threads=*/2);
+  for (std::size_t i = 0; i < 6; ++i)
+    EXPECT_EQ(clamped.results[i], whole.results[i]) << "input " << i;
+  EXPECT_EQ(clamped.total_cycles, whole.total_cycles);
+  EXPECT_EQ(clamped.error_rate_percent, whole.error_rate_percent);
+}
+
+TEST(BatchRunner, OversizedThreadsAndSamplesTogetherClamp) {
+  // Both edges at once, on the aggregate-only (arena) path: threads
+  // clamp to the clamped sample count, not to the requested one.
+  const Fixture f = make_batch_fixture(2, /*seed=*/47);
+  BatchOptions options;
+  options.num_threads = 16;
+  options.max_samples = 50;
+  options.keep_results = false;
+  const BatchResult result =
+      BatchRunner(tiny_arch(), options).run(f.network, f.data);
+  EXPECT_EQ(result.num_inferences, 2u);
+  EXPECT_EQ(result.num_threads, 2u);
+  EXPECT_TRUE(result.results.empty());
+  EXPECT_GT(result.total_cycles, 0u);
+}
+
 TEST(BatchRunner, UvOffBaselineAlsoDeterministic) {
   const Fixture f = make_batch_fixture(8, /*seed=*/19);
   const BatchResult a = run_batch(f, 1, /*use_predictor=*/false);

@@ -8,7 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
 #include <ranges>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
@@ -160,30 +163,167 @@ TEST(CompiledEngine, MismatchedArchitectureIsRejected) {
   EXPECT_THROW((void)sim.run(compiled, x), std::invalid_argument);
 }
 
-TEST(CompiledEngine, ValidationStillCatchesDivergence) {
-  // kFull must keep the golden cross-check armed: a compiled image
-  // that no longer matches its source network (stale snapshot after a
-  // threshold change) trips the ensures().
+TEST(CompiledEngine, StaleSnapshotIsRejectedInEveryMode) {
+  // PR-2 behaviour: a stale image silently simulated the old threshold
+  // under kOff and only kFull *might* notice (when the masks happened
+  // to differ). The epoch counter turns that silent divergence into a
+  // deterministic precondition failure for every validation mode and
+  // every consumer.
   Rng rng{9};
   QuantizedNetwork q = seeded_network(rng);
-  const CompiledNetwork stale(q, tiny_arch(), true);
+  const CompiledNetwork compiled(q, tiny_arch(), true);
+  EXPECT_FALSE(compiled.stale());
+  EXPECT_EQ(compiled.source_epoch(), q.epoch());
+
   q.set_prediction_threshold(0.35);  // mutate AFTER compiling
+  EXPECT_TRUE(compiled.stale());
 
   AcceleratorSim sim(tiny_arch());
   Vector x(24);
   for (float& v : x)
     v = rng.bernoulli(0.3) ? 0.0f
                            : static_cast<float>(rng.uniform(0.5, 1.0));
-  // The stale image predicts with the old threshold; the golden model
-  // uses the new one. If the masks differ, kFull must throw; kOff must
-  // run through regardless (it trusts the image).
-  EXPECT_NO_THROW((void)sim.run(stale, x, ValidationMode::kOff));
-  SimResult from_stale = sim.run(stale, x, ValidationMode::kOff);
-  const SimResult from_fresh = AcceleratorSim(tiny_arch()).run(q, x, true);
-  if (from_stale.output != from_fresh.output) {
-    EXPECT_THROW((void)sim.run(stale, x, ValidationMode::kFull),
-                 InvariantError);
+  EXPECT_THROW((void)sim.run(compiled, x, ValidationMode::kOff),
+               std::invalid_argument);
+  EXPECT_THROW((void)sim.run(compiled, x, ValidationMode::kFull),
+               std::invalid_argument);
+
+  // BatchRunner rejects the stale image up front, on the calling
+  // thread, before spawning workers.
+  BatchOptions options;
+  options.num_threads = 2;
+  const Fixture f = make_batch_fixture(4, /*seed=*/9);
+  EXPECT_THROW(
+      (void)BatchRunner(tiny_arch(), options).run(compiled, f.data),
+      std::invalid_argument);
+
+  // Even a no-op mutation bumps the epoch: the image snapshotted the
+  // network, so any mutation after compiling invalidates it.
+  const CompiledNetwork recompiled(q, tiny_arch(), true);
+  q.set_prediction_threshold(0.35);  // same value — still a mutation
+  EXPECT_TRUE(recompiled.stale());
+}
+
+TEST(CompiledEngine, EpochIsMonotone) {
+  Rng rng{15};
+  QuantizedNetwork q = seeded_network(rng);
+  const std::uint64_t e0 = q.epoch();
+  q.set_prediction_threshold(0.1);
+  q.set_prediction_threshold(0.2);
+  EXPECT_EQ(q.epoch(), e0 + 2);
+}
+
+TEST(CompiledNetworkCache, ReusesImagesUntilEpochMoves) {
+  Rng rng{27};
+  QuantizedNetwork q = seeded_network(rng);
+  CompiledNetworkCache cache(tiny_arch());
+  EXPECT_EQ(cache.compile_count(), 0u);
+
+  const CompiledNetwork& on = cache.get(q, true);
+  const CompiledNetwork& off = cache.get(q, false);
+  EXPECT_EQ(cache.compile_count(), 2u);
+  EXPECT_TRUE(on.use_predictor());
+  EXPECT_FALSE(off.use_predictor());
+
+  // Hits: same network, same epoch, same uv mode → the same image.
+  EXPECT_EQ(&cache.get(q, true), &on);
+  EXPECT_EQ(&cache.get(q, false), &off);
+  EXPECT_EQ(cache.compile_count(), 2u);
+
+  // A mutation moves the epoch; the next get() recompiles, and the
+  // fresh image carries the new threshold (never a stale snapshot).
+  q.set_prediction_threshold(0.25);
+  const CompiledNetwork& on2 = cache.get(q, true);
+  EXPECT_EQ(cache.compile_count(), 3u);
+  EXPECT_FALSE(on2.stale());
+  EXPECT_EQ(on2.source_epoch(), q.epoch());
+
+  cache.invalidate();
+  (void)cache.get(q, true);
+  EXPECT_EQ(cache.compile_count(), 4u);
+}
+
+TEST(CompiledNetworkCache, AddressReuseNeverServesTheOldNetworksImage) {
+  // Regression guard for the cache key: System::prepare() re-emplaces
+  // its QuantizedNetwork into the same std::optional slot, so a new
+  // network routinely occupies a dead network's address at epoch 0. A
+  // key of (address, epoch) would serve the OLD network's weights; the
+  // (uid, epoch) key must recompile.
+  Rng rng{35};
+  CompiledNetworkCache cache(tiny_arch());
+  std::optional<QuantizedNetwork> slot(seeded_network(rng));
+  (void)cache.get(*slot, true);
+  EXPECT_EQ(cache.compile_count(), 1u);
+
+  slot.emplace(seeded_network(rng));  // same address, different weights
+  const CompiledNetwork& recompiled = cache.get(*slot, true);
+  EXPECT_EQ(cache.compile_count(), 2u);
+  EXPECT_TRUE(recompiled.compiled_from(*slot));
+  EXPECT_FALSE(recompiled.stale());
+}
+
+TEST(CompiledEngine, UidIsFreshAcrossCopiesAndAssignment) {
+  // uid() names an object's content history: copies and assignment
+  // targets can diverge from the original, so they must never share a
+  // (uid, epoch) key with it.
+  Rng rng{39};
+  QuantizedNetwork a = seeded_network(rng);
+  QuantizedNetwork b = a;  // copy
+  EXPECT_NE(a.uid(), b.uid());
+
+  const CompiledNetwork compiled_a(a, tiny_arch(), true);
+  EXPECT_FALSE(compiled_a.compiled_from(b));
+
+  b = seeded_network(rng);  // assignment re-identifies the target
+  const std::uint64_t assigned_uid = b.uid();
+  EXPECT_NE(assigned_uid, a.uid());
+
+  QuantizedNetwork c = std::move(b);  // move re-identifies the source
+  EXPECT_NE(c.uid(), b.uid());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(CompiledNetworkCache, CachedRunsBitIdenticalToUncached) {
+  const Fixture f = make_batch_fixture(5, /*seed=*/51);
+  CompiledNetworkCache cache(tiny_arch());
+  AcceleratorSim sim(tiny_arch());
+  for (const bool uv_on : {true, false}) {
+    for (std::size_t i = 0; i < f.data.size(); ++i) {
+      const SimResult cached =
+          sim.run(cache.get(f.network, uv_on), f.data.image(i));
+      EXPECT_EQ(cached, fresh_run(f.network, f.data.image(i), uv_on))
+          << "input " << i << " uv " << uv_on;
+    }
   }
+  EXPECT_EQ(cache.compile_count(), 2u);  // one compile per uv mode
+}
+
+TEST(CompiledEngine, UvOffValidatesAgainstUvOffGoldenPath) {
+  // Regression guard for the golden cross-check's uv mode: a uv_off
+  // image must be validated against the uv_off (EIE-style, all rows
+  // computed) functional model, not the uv_on one. Pick an input where
+  // the two modes produce different outputs — if kFull compared
+  // against the wrong mode, it would throw here.
+  Rng rng{63};
+  const QuantizedNetwork q = seeded_network(rng);
+  const CompiledNetwork compiled_off(q, tiny_arch(), false);
+  AcceleratorSim sim(tiny_arch());
+
+  bool saw_divergent_modes = false;
+  for (int trial = 0; trial < 32; ++trial) {
+    Vector x(24);
+    for (float& v : x)
+      v = rng.bernoulli(0.4) ? 0.0f
+                             : static_cast<float>(rng.uniform(0.0, 1.0));
+    const auto golden_off = q.infer_raw(x, /*use_predictor=*/false);
+    saw_divergent_modes = saw_divergent_modes ||
+                          golden_off != q.infer_raw(x, true);
+    SimResult run;
+    ASSERT_NO_THROW(run = sim.run(compiled_off, x, ValidationMode::kFull))
+        << "trial " << trial;
+    EXPECT_EQ(run.output, golden_off) << "trial " << trial;
+  }
+  // The guard is vacuous if uv_on and uv_off agree on every input.
+  EXPECT_TRUE(saw_divergent_modes);
 }
 
 }  // namespace
