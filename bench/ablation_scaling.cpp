@@ -15,6 +15,7 @@
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "core/system.hpp"
+#include "sim/accelerator.hpp"
 
 int main() {
   using namespace sparsenn;

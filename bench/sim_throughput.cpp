@@ -4,21 +4,22 @@
 //   ./sim_throughput [--samples n] [--hidden h] [--uv on|off]
 //                    [--json-out path]
 //
-// Four engines run the same inputs through the same AcceleratorSim:
+// Five engines run the same inputs (the analytic one through its
+// own backend, the rest through the same AcceleratorSim):
 //
 //   "per_inference" — the seed engine's work profile: the network's
 //     per-PE slices are rebuilt for every inference and every layer is
 //     cross-checked against the functional golden model
 //     (AcceleratorSim::run(network, ...)); this is also exactly what a
 //     repeated System::simulate() sweep cost before the system-level
-//     CompiledNetworkCache existed;
+//     compiled-image cache (today's ModelZoo) existed;
 //
 //   "compiled" — the network is compiled once (CompiledNetwork), the
 //     first inference runs with ValidationMode::kFull, and the rest
 //     run with validation off;
 //
 //   "cached_sweep" — the System::simulate() sweep profile today: every
-//     inference fetches the image from a CompiledNetworkCache (always
+//     inference fetches the image from a ModelZoo (always
 //     a hit after the first) and keeps the golden cross-check ON. The
 //     reported "cached_sweep_speedup" vs per_inference is the win the
 //     cache buys the fig/ablation single-shot sweeps;
@@ -26,16 +27,28 @@
 //   "arena" — the compiled engine writing into a ResultArena
 //     (validation off): the steady state performs ZERO heap
 //     allocations per inference, and the bench exits nonzero if the
-//     counted number is anything but 0.
+//     counted number is anything but 0;
 //
-// A final section measures the BatchRunner keep_results=false path at
-// two batch sizes and reports the *marginal* allocations per extra
-// inference ("batch_arena_marginal_allocs_per_inference") — also
-// asserted to be exactly 0.
+//   "analytic" — the AnalyticEngine backend (sim/engine.hpp): the
+//     functional forward pass with closed-form schedule math instead
+//     of per-cycle NoC stepping. Its predictions (per-layer
+//     activations, output, nnz/active-row counts, argmax labels) must
+//     be bit-exact vs the cycle engines ("analytic_bit_exact",
+//     asserted — CI gates on it); its cycle numbers are estimates, so
+//     they are excluded from the SimResult equality check. The
+//     reported "analytic_speedup" is single-threaded inf/s over the
+//     compiled cycle engine — the model-zoo serving win.
 //
-// The bench asserts all engines' SimResults are bit-identical before
-// reporting, and counts heap allocations via a global operator new
-// hook.
+// Two final sections measure the BatchRunner keep_results=false path:
+// marginal allocations per extra inference
+// ("batch_arena_marginal_allocs_per_inference", asserted 0), and a
+// thread-scaling sweep ("batch_scaling": inf/s at 1,2,4,…,HW threads
+// on the cycle backend) recorded into the JSON so CI runs double as
+// multi-core scaling measurements.
+//
+// The bench asserts all cycle engines' SimResults are bit-identical
+// before reporting, and counts heap allocations via a global operator
+// new hook.
 
 #include <algorithm>
 #include <atomic>
@@ -47,11 +60,13 @@
 #include <new>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/alloc_counter.hpp"
 #include "common/cli_args.hpp"
 #include "common/rng.hpp"
+#include "core/model_zoo.hpp"
 #include "data/dataset.hpp"
 #include "nn/network.hpp"
 #include "nn/predictor.hpp"
@@ -60,6 +75,7 @@
 #include "sim/accelerator.hpp"
 #include "sim/batch_runner.hpp"
 #include "sim/compiled_network.hpp"
+#include "sim/engine.hpp"
 #include "sim/result_arena.hpp"
 
 namespace {
@@ -95,12 +111,29 @@ struct EngineStats {
   }
 };
 
+/// Prediction equivalence across backends: everything except the
+/// estimated cycle/event numbers — per-layer activations, the derived
+/// sparsity counts, and the output logits (hence the argmax label).
+bool predictions_match(const SimResult& a, const SimResult& b) {
+  if (a.output != b.output || a.layers.size() != b.layers.size())
+    return false;
+  for (std::size_t l = 0; l < a.layers.size(); ++l) {
+    if (a.layers[l].activations != b.layers[l].activations ||
+        a.layers[l].nnz_inputs != b.layers[l].nnz_inputs ||
+        a.layers[l].active_rows != b.layers[l].active_rows) {
+      return false;
+    }
+  }
+  return true;
+}
+
 void print_engine(std::ostream& os, const char* name, const EngineStats& s) {
   os << "  \"" << name << "\": {"
      << "\"wall_seconds\": " << s.wall_seconds
      << ", \"inferences_per_sec\": " << s.inferences_per_sec()
      << ", \"cycles_simulated_per_sec\": " << s.cycles_per_sec()
      << ", \"cycles_simulated\": " << s.cycles
+     << ", \"samples\": " << s.samples
      << ", \"allocs_per_inference\": " << s.allocs_per_inference() << "}";
 }
 
@@ -185,11 +218,11 @@ int main(int argc, char** argv) {
     // golden validation on every call.
     EngineStats cached_stats;
     {
-      CompiledNetworkCache cache(arch);
+      ModelZoo zoo(arch);
       const std::uint64_t allocs_before = g_allocs.load();
       const auto start = clock::now();
       for (std::size_t i = 0; i < samples; ++i) {
-        const SimResult r = sim.run(cache.get(quantized, use_predictor),
+        const SimResult r = sim.run(zoo.get(quantized, use_predictor),
                                     inputs[i], ValidationMode::kFull);
         cached_stats.cycles += r.total_cycles;
         identical = identical && r == reference[i];
@@ -221,6 +254,45 @@ int main(int argc, char** argv) {
           std::chrono::duration<double>(clock::now() - start).count();
       arena_stats.allocs = g_allocs.load() - allocs_before;
       arena_stats.samples = samples;
+    }
+
+    // ---- analytic engine (functional model + schedule math) ----
+    // Same compiled image, other backend: predictions must be
+    // bit-exact vs the cycle reference; wall-clock is the model-zoo
+    // serving speedup.
+    EngineStats analytic_stats;
+    bool analytic_exact = true;
+    {
+      const CompiledNetwork compiled(quantized, arch, use_predictor);
+      const std::unique_ptr<ExecutionEngine> analytic =
+          make_engine(EngineKind::kAnalytic, arch);
+      ResultArena arena(compiled);
+      // Warm-up grows the engine-side scratch to steady capacity.
+      analytic_exact = predictions_match(
+          analytic->run(compiled, inputs[0], arena, ValidationMode::kOff),
+          reference[0]);
+      // The analytic engine is fast enough that one pass over a small
+      // --samples set lasts only microseconds — far too short a window
+      // for a wall-clock ratio that CI gates on (one scheduler
+      // preemption inside it would fake a 10-40x slowdown). Loop the
+      // same inputs until the measured window holds a few hundred
+      // inferences.
+      const std::size_t rounds = std::max<std::size_t>(1, 512 / samples);
+      const std::uint64_t allocs_before = g_allocs.load();
+      const auto start = clock::now();
+      for (std::size_t round = 0; round < rounds; ++round) {
+        for (std::size_t i = 0; i < samples; ++i) {
+          const SimResult& r = analytic->run(compiled, inputs[i], arena,
+                                             ValidationMode::kOff);
+          analytic_stats.cycles += r.total_cycles;
+          analytic_exact =
+              analytic_exact && predictions_match(r, reference[i]);
+        }
+      }
+      analytic_stats.wall_seconds =
+          std::chrono::duration<double>(clock::now() - start).count();
+      analytic_stats.allocs = g_allocs.load() - allocs_before;
+      analytic_stats.samples = samples * rounds;
     }
 
     // ---- batch arena path: marginal allocations per inference ----
@@ -257,6 +329,47 @@ int main(int argc, char** argv) {
                          : 0.0;
     }
 
+    // ---- batch thread scaling (ROADMAP: measure on real multi-core
+    // hardware) ----
+    // inf/s at 1,2,4,…,hardware_concurrency worker threads on the
+    // cycle backend (keep_results=false). On a single-core container
+    // this records ≈1x; wherever CI runs multi-core it records the
+    // real scaling curve alongside the engine numbers.
+    struct ScalingPoint {
+      std::size_t threads = 0;
+      double inf_per_sec = 0.0;
+    };
+    std::vector<ScalingPoint> scaling;
+    {
+      const std::size_t hw = std::max<std::size_t>(
+          1, std::thread::hardware_concurrency());
+      // Enough work that every worker runs dozens of inferences even
+      // at the widest point — otherwise thread spawn/join dominates
+      // and the curve records startup noise, not scaling.
+      const std::size_t scaling_samples =
+          std::max(samples, 32 * hw);
+      Dataset batch_data;
+      batch_data.inputs = Matrix(scaling_samples, 784);
+      for (std::size_t i = 0; i < scaling_samples; ++i)
+        std::copy(inputs[i % samples].begin(), inputs[i % samples].end(),
+                  batch_data.inputs.row(i).begin());
+      // Powers of two below hw, then hw itself (so the top point is
+      // always measured, including non-power-of-two machines).
+      std::vector<std::size_t> thread_counts;
+      for (std::size_t t = 1; t < hw; t *= 2) thread_counts.push_back(t);
+      thread_counts.push_back(hw);
+      for (const std::size_t threads : thread_counts) {
+        BatchOptions o;
+        o.num_threads = threads;
+        o.use_predictor = use_predictor;
+        o.keep_results = false;
+        o.max_samples = scaling_samples;
+        const BatchRunner runner(arch, o);
+        const BatchResult r = runner.run(quantized, batch_data);
+        scaling.push_back({r.num_threads, r.inferences_per_second()});
+      }
+    }
+
     const auto ratio = [](double a, double b) {
       return a > 0.0 && b > 0.0 ? a / b : 0.0;
     };
@@ -264,6 +377,11 @@ int main(int argc, char** argv) {
         ratio(per_inference.wall_seconds, compiled_stats.wall_seconds);
     const double cached_sweep_speedup =
         ratio(per_inference.wall_seconds, cached_stats.wall_seconds);
+    // Rate ratio, not wall ratio: the analytic loop runs `rounds`
+    // passes over the same inputs to widen its timing window.
+    const double analytic_speedup =
+        ratio(analytic_stats.inferences_per_sec(),
+              compiled_stats.inferences_per_sec());
 
     std::string json;
     {
@@ -277,13 +395,23 @@ int main(int argc, char** argv) {
       print_engine(os, "cached_sweep", cached_stats);
       os << ",\n";
       print_engine(os, "arena", arena_stats);
+      os << ",\n";
+      print_engine(os, "analytic", analytic_stats);
       os << ",\n  \"speedup\": " << speedup
          << ",\n  \"cached_sweep_speedup\": " << cached_sweep_speedup
+         << ",\n  \"analytic_speedup\": " << analytic_speedup
+         << ",\n  \"analytic_bit_exact\": "
+         << (analytic_exact ? "true" : "false")
          << ",\n  \"arena_allocs_per_inference\": "
          << arena_stats.allocs_per_inference()
          << ",\n  \"batch_arena_marginal_allocs_per_inference\": "
          << batch_marginal_allocs
-         << ",\n  \"bit_identical\": " << (identical ? "true" : "false")
+         << ",\n  \"batch_scaling\": [";
+      for (std::size_t i = 0; i < scaling.size(); ++i) {
+        os << (i ? ", " : "") << "{\"threads\": " << scaling[i].threads
+           << ", \"inferences_per_sec\": " << scaling[i].inf_per_sec << "}";
+      }
+      os << "],\n  \"bit_identical\": " << (identical ? "true" : "false")
          << "\n}\n";
       json = os.str();
     }
@@ -298,10 +426,22 @@ int main(int argc, char** argv) {
                    "engine\n";
       return 1;
     }
+    if (!analytic_exact) {
+      std::cerr << "error: the analytic engine's predictions diverged "
+                   "from the cycle engine (activations/labels must be "
+                   "bit-exact)\n";
+      return 1;
+    }
     if (arena_stats.allocs != 0) {
       std::cerr << "error: arena path performed "
                 << arena_stats.allocs << " heap allocations over "
                 << samples << " inferences (expected 0)\n";
+      return 1;
+    }
+    if (analytic_stats.allocs != 0) {
+      std::cerr << "error: analytic arena path performed "
+                << analytic_stats.allocs << " heap allocations over "
+                << analytic_stats.samples << " inferences (expected 0)\n";
       return 1;
     }
     if (batch_marginal_allocs != 0.0) {

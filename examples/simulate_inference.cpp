@@ -11,6 +11,7 @@
 
 #include "common/table.hpp"
 #include "core/system.hpp"
+#include "sim/accelerator.hpp"
 
 int main(int argc, char** argv) {
   using namespace sparsenn;

@@ -6,15 +6,20 @@
 //   sparsenn_cli eval     --model model.bin [--variant v]
 //   sparsenn_cli simulate --model model.bin [--variant v] [--samples n]
 //                         [--uv on|off|both] [--trace trace.csv]
+//                         [--engine cycle|analytic]
 //   sparsenn_cli batch    --model model.bin [--variant v] [--samples n]
 //                         [--threads t] [--uv on|off]
+//                         [--engine cycle|analytic]
 //   sparsenn_cli info     [--model model.bin]
 //
 // `train` produces a serialized model; `eval` reports float and
-// quantised TER; `simulate` deploys it on the cycle-accurate 64-PE
-// model; `batch` shards a test batch across worker threads (each with
-// a private simulator) and reports aggregate throughput; `info` prints
-// the architecture configuration (and, with a model, its topology).
+// quantised TER; `simulate` deploys it on the 64-PE model; `batch`
+// shards a test batch across worker threads (each with a private
+// engine) and reports aggregate throughput; `info` prints the
+// architecture configuration (and, with a model, its topology).
+// `--engine` picks the cost backend (sim/engine.hpp): `cycle` is the
+// cycle-accurate simulator, `analytic` the closed-form fast path with
+// bit-identical predictions and estimated cycles.
 
 #include <cstdlib>
 #include <iostream>
@@ -24,13 +29,14 @@
 #include "arch/area.hpp"
 #include "common/cli_args.hpp"
 #include "common/table.hpp"
+#include "core/model_zoo.hpp"
 #include "data/dataset.hpp"
 #include "nn/quantized.hpp"
 #include "nn/serialize.hpp"
 #include "nn/trainer.hpp"
-#include "sim/accelerator.hpp"
 #include "sim/batch_runner.hpp"
 #include "sim/compiled_network.hpp"
+#include "sim/engine.hpp"
 #include "sim/trace.hpp"
 
 namespace {
@@ -51,6 +57,16 @@ PredictorKind parse_kind(const std::string& name) {
   if (name == "none") return PredictorKind::kNone;
   if (name == "svd") return PredictorKind::kSvd;
   return PredictorKind::kEndToEnd;
+}
+
+/// --engine cycle|analytic; anything else is a UsageError (exit 2).
+EngineKind parse_engine(const Args& args) {
+  const std::string name = args.get("engine", "cycle");
+  const std::optional<EngineKind> kind = parse_engine_kind(name);
+  if (!kind) {
+    throw UsageError("--engine takes cycle|analytic, got '" + name + "'");
+  }
+  return *kind;
 }
 
 DatasetSplit make_split(const Args& args) {
@@ -121,14 +137,16 @@ int cmd_eval(const Args& args) {
 }
 
 int cmd_simulate(const Args& args) {
+  const EngineKind engine_kind = parse_engine(args);
   const LoadedModel model = load_model(args);
   const DatasetSplit& split = model.split;
   const QuantizedNetwork& quantized = model.quantized;
 
-  AcceleratorSim sim(ArchParams::paper());
+  const std::unique_ptr<ExecutionEngine> engine =
+      make_engine(engine_kind, ArchParams::paper());
   TraceLog log;
   const std::string trace_path = args.get("trace", "");
-  if (!trace_path.empty()) sim.set_trace(&log);
+  if (!trace_path.empty()) engine->set_trace(&log);
 
   const std::size_t samples =
       std::min(args.get_size("samples", 3), split.test.size());
@@ -139,22 +157,24 @@ int cmd_simulate(const Args& args) {
   const std::string uv = args.get("uv", "both");
   const EnergyModel energy{ArchParams::paper()};
 
-  // One compiled image per uv mode, fetched through the cache (the
-  // same machinery System uses); single runs keep the golden-model
-  // cross-check on (ValidationMode::kFull is the default), and the
+  // One compiled image per uv mode, fetched through the ModelZoo (the
+  // same machinery System uses — both uv images stay warm under its
+  // LRU bound); single runs keep the golden-model cross-check on
+  // (ValidationMode::kFull is the cycle engine's default), and the
   // cross-check always runs against the matching uv mode's golden
   // path — uv_off validates against the EIE-style all-rows model.
-  CompiledNetworkCache cache(ArchParams::paper());
+  ModelZoo zoo(ArchParams::paper());
 
+  std::cout << "engine: " << to_string(engine_kind) << "\n";
   Table table({"mode", "mean cycles", "mean power(mW)", "mean uJ"});
   for (const bool on : {true, false}) {
     if ((on && uv == "off") || (!on && uv == "on")) continue;
-    const CompiledNetwork& compiled = cache.get(quantized, on);
+    const CompiledNetwork& compiled = zoo.get(quantized, on);
     double cycles = 0.0;
     double mw = 0.0;
     double uj = 0.0;
     for (std::size_t i = 0; i < samples; ++i) {
-      const SimResult run = sim.run(compiled, split.test.image(i));
+      const SimResult run = engine->run(compiled, split.test.image(i));
       const EnergyReport r = energy.report(run.total_events());
       cycles += static_cast<double>(run.total_cycles);
       mw += r.avg_power_mw;
@@ -186,6 +206,7 @@ int cmd_batch(const Args& args) {
   options.max_samples = args.get_size("samples", 64);
   options.use_predictor = uv == "on";
   options.keep_results = false;  // aggregate stats only
+  options.engine = parse_engine(args);
 
   const LoadedModel model = load_model(args);
   const BatchRunner runner(ArchParams::paper(), options);
@@ -199,7 +220,8 @@ int cmd_batch(const Args& args) {
   const auto n = static_cast<double>(result.num_inferences);
 
   std::cout << "Batched " << result.num_inferences << " inferences ("
-            << (options.use_predictor ? "uv_on" : "uv_off") << ") across "
+            << (options.use_predictor ? "uv_on" : "uv_off") << ", "
+            << to_string(*options.engine) << " engine) across "
             << result.num_threads << " worker thread(s) in "
             << result.wall_seconds << "s\n";
   Table table({"threads", "inf/s", "cycles/inf", "mean uJ/inf",

@@ -6,7 +6,7 @@
 namespace sparsenn {
 
 System::System(SystemOptions options)
-    : options_(std::move(options)), cache_(options_.arch) {
+    : options_(std::move(options)), zoo_(options_.arch) {
   options_.arch.validate();
   expects(options_.topology.size() >= 2, "topology too small");
   for (std::size_t width : options_.topology) {
@@ -27,13 +27,13 @@ void System::prepare() {
 
   log_info("system", "quantising to 16-bit fixed point");
   quantized_.emplace(model_->network, split_->train.inputs);
-  sim_.emplace(options_.arch);
+  engine_ = make_engine(options_.engine, options_.arch);
 
   // A re-prepare()d network carries a fresh uid, so images compiled
-  // from the previous one can never be served again (the cache key is
+  // from the previous one can never be served again (the zoo key is
   // (uid, epoch), not the address) — drop them eagerly.
   const std::lock_guard<std::mutex> lock(cache_mutex_);
-  cache_.invalidate();
+  zoo_.invalidate();
 }
 
 const DatasetSplit& System::dataset() const {
@@ -59,18 +59,25 @@ const QuantizedNetwork& System::quantized() const {
 SimResult System::simulate(std::size_t test_index, bool use_predictor) {
   expects(prepared(), "call prepare() first");
   expects(test_index < split_->test.size(), "test index out of range");
-  // Cached compile + full golden validation: bit-identical to the
-  // one-shot sim_->run(network, …) path, minus the per-call recompile.
-  return sim_->run(compiled(use_predictor), split_->test.image(test_index),
-                   ValidationMode::kFull);
+  // Zoo-cached compile + full validation on the configured backend.
+  // On the cycle engine this is bit-identical to the one-shot
+  // run(network, …) path, minus the per-call recompile; the analytic
+  // engine returns the same predictions with estimated cycles.
+  return engine_->run(compiled(use_predictor),
+                      split_->test.image(test_index),
+                      ValidationMode::kFull);
 }
 
 BatchResult System::simulate_batch(const BatchOptions& options) const {
   expects(prepared(), "call prepare() first");
-  // The per-PE slice image comes from the system cache and is shared
+  // The per-PE slice image comes from the system zoo and is shared
   // read-only across the runner's workers (sim/compiled_network.hpp),
-  // and across repeated batches at the same network epoch.
-  const BatchRunner runner(options_.arch, options);
+  // and across repeated batches at the same network epoch. An unset
+  // BatchOptions::engine inherits the system's configured backend;
+  // an explicit one overrides it per batch.
+  BatchOptions resolved = options;
+  if (!resolved.engine) resolved.engine = options_.engine;
+  const BatchRunner runner(options_.arch, resolved);
   return runner.run(compiled(options.use_predictor), split_->test);
 }
 
@@ -112,9 +119,10 @@ HardwareComparison System::compare_hardware(std::size_t samples) {
   for (std::size_t i = 0; i < samples; ++i) {
     const ValidationMode mode =
         i == 0 ? ValidationMode::kFull : ValidationMode::kOff;
-    absorb(out.uv_on, sim_->run(compiled_on, split_->test.image(i), mode));
+    absorb(out.uv_on,
+           engine_->run(compiled_on, split_->test.image(i), mode));
     absorb(out.uv_off,
-           sim_->run(compiled_off, split_->test.image(i), mode));
+           engine_->run(compiled_off, split_->test.image(i), mode));
   }
 
   const auto finish = [&](std::vector<LayerHardwareCost>& dest) {
@@ -138,10 +146,11 @@ HardwareComparison System::compare_hardware(std::size_t samples) {
 void System::set_prediction_threshold(double threshold) {
   expects(prepared(), "call prepare() first");
   quantized_->set_prediction_threshold(threshold);
-  // The epoch bump above already marks every cached image stale; drop
-  // them eagerly so a threshold sweep never holds two dead images.
+  // The epoch bump above already marks this network's cached images
+  // stale; drop them eagerly so a threshold sweep never holds dead
+  // images across its K points.
   const std::lock_guard<std::mutex> lock(cache_mutex_);
-  cache_.invalidate();
+  zoo_.invalidate(quantized_->uid());
 }
 
 AreaBreakdown System::area() const { return compute_area(options_.arch); }

@@ -13,18 +13,20 @@
 //
 // Examples and benches are thin wrappers over this type.
 
+#include <memory>
 #include <mutex>
 #include <optional>
 
 #include "arch/area.hpp"
 #include "arch/energy.hpp"
 #include "arch/params.hpp"
+#include "core/model_zoo.hpp"
 #include "data/dataset.hpp"
 #include "nn/quantized.hpp"
 #include "nn/trainer.hpp"
-#include "sim/accelerator.hpp"
 #include "sim/batch_runner.hpp"
 #include "sim/compiled_network.hpp"
+#include "sim/engine.hpp"
 
 namespace sparsenn {
 
@@ -35,6 +37,11 @@ struct SystemOptions {
   DatasetOptions data{};
   TrainOptions train{};
   ArchParams arch = ArchParams::paper();
+  /// Cost backend simulate()/compare_hardware() dispatch to (see
+  /// sim/engine.hpp). kCycle is the paper's verification path;
+  /// kAnalytic keeps predictions bit-identical while replacing
+  /// per-cycle simulation with closed-form schedule math.
+  EngineKind engine = EngineKind::kCycle;
 };
 
 /// Mean per-layer hardware cost over a set of inferences.
@@ -70,13 +77,17 @@ class System {
   const QuantizedNetwork& quantized() const;
   const SystemOptions& options() const noexcept { return options_; }
 
-  /// Cycle-accurate inference of one test sample. The network's
-  /// per-PE slice image comes from the system's CompiledNetworkCache,
-  /// so repeated calls (rank/threshold sweeps, the fig benches)
-  /// compile once per (epoch, uv mode) instead of once per call; the
-  /// golden-model cross-check stays on (single runs are the paper's
-  /// verification path).
+  /// One inference of one test sample on the configured backend
+  /// (SystemOptions::engine). The network's per-PE slice image comes
+  /// from the system's ModelZoo, so repeated calls (rank/threshold
+  /// sweeps, the fig benches) compile once per (epoch, uv mode)
+  /// instead of once per call; on the cycle backend the golden-model
+  /// cross-check stays on (single runs are the paper's verification
+  /// path).
   SimResult simulate(std::size_t test_index, bool use_predictor);
+
+  /// The backend simulate()/compare_hardware() run on.
+  EngineKind engine_kind() const noexcept { return options_.engine; }
 
   /// Multi-threaded batched inference over the test split (see
   /// sim/batch_runner.hpp). Results are deterministic in the thread
@@ -98,13 +109,13 @@ class System {
   /// so the next simulation recompiles against the new threshold.
   void set_prediction_threshold(double threshold);
 
-  /// Real compilations performed so far by the system's
-  /// CompiledNetworkCache — observability for sweeps and tests (a
-  /// threshold sweep of K points over both uv modes should compile at
-  /// most 2·K images, not 2·K·samples).
+  /// Real compilations performed so far by the system's ModelZoo —
+  /// observability for sweeps and tests (a threshold sweep of K points
+  /// over both uv modes should compile at most 2·K images, not
+  /// 2·K·samples).
   std::uint64_t compiled_network_compile_count() const {
     const std::lock_guard<std::mutex> lock(cache_mutex_);
-    return cache_.compile_count();
+    return zoo_.compile_count();
   }
 
  private:
@@ -112,23 +123,27 @@ class System {
   std::optional<DatasetSplit> split_;
   std::optional<TrainedModel> model_;
   std::optional<QuantizedNetwork> quantized_;
-  std::optional<AcceleratorSim> sim_;
+  /// The configured cost backend (created in prepare() from
+  /// options_.engine via make_engine).
+  std::unique_ptr<ExecutionEngine> engine_;
   /// Compiled per-PE slice images shared by simulate(),
-  /// simulate_batch() and compare_hardware(); mutable because a cache
+  /// simulate_batch() and compare_hardware(); mutable because a zoo
   /// fill is not an observable state change (results are bit-identical
   /// to an uncached compile — tests/compiled_engine_test pins it).
-  /// CompiledNetworkCache itself is not thread-safe, so every access
-  /// goes through cache_mutex_: concurrent *const* calls (e.g. two
-  /// threads in simulate_batch()) then serialize only the image fetch
-  /// and share the filled entry read-only — an entry is destroyed only
-  /// by a mutating call (set_prediction_threshold), which, as for any
-  /// other member, must not run concurrently with readers.
+  /// ModelZoo itself is not thread-safe, so every access goes through
+  /// cache_mutex_: concurrent *const* calls (e.g. two threads in
+  /// simulate_batch()) then serialize only the image fetch and share
+  /// the filled entry read-only. A System fetches at most two distinct
+  /// images (one per uv mode) per network epoch — far below the zoo's
+  /// capacity — so a served reference is destroyed only by a mutating
+  /// call (set_prediction_threshold, prepare), which, as for any other
+  /// member, must not run concurrently with readers.
   mutable std::mutex cache_mutex_;
-  mutable CompiledNetworkCache cache_;
+  mutable ModelZoo zoo_;
 
   const CompiledNetwork& compiled(bool use_predictor) const {
     const std::lock_guard<std::mutex> lock(cache_mutex_);
-    return cache_.get(*quantized_, use_predictor);
+    return zoo_.get(*quantized_, use_predictor);
   }
 };
 

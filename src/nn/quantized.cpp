@@ -142,10 +142,27 @@ void QuantizedNetwork::quantize_input_into(
 QuantizedLayerResult QuantizedNetwork::forward_layer(
     std::size_t l, std::span<const std::int16_t> act,
     bool use_predictor) const {
+  // One LNZD-style scan up front; every matrix loop then walks only
+  // the nonzero terms (input-sparsity skip, as in hardware).
+  std::vector<std::uint32_t> nz_idx;
+  nz_idx.reserve(act.size());
+  for (std::size_t c = 0; c < act.size(); ++c)
+    if (act[c] != 0) nz_idx.push_back(static_cast<std::uint32_t>(c));
+
+  QuantizedLayerResult out;
+  forward_layer_into(l, act, nz_idx, use_predictor, out.v_result,
+                     out.mask, out.activations);
+  return out;
+}
+
+void QuantizedNetwork::forward_layer_into(
+    std::size_t l, std::span<const std::int16_t> act,
+    std::span<const std::uint32_t> nz_idx, bool use_predictor,
+    std::vector<std::int16_t>& v_result, std::vector<std::uint8_t>& mask,
+    std::vector<std::int16_t>& activations) const {
   const QuantizedLayer& q = layers_.at(l);
   expects(act.size() == q.w.cols, "activation dimension mismatch");
 
-  QuantizedLayerResult out;
   const std::size_t m = q.w.rows;
 
   // --- Prediction phase: s = V a, t = U s, bit = t > 0 ---
@@ -154,47 +171,42 @@ QuantizedLayerResult QuantizedNetwork::forward_layer(
     const QuantizedTensor& u = *q.u;
     const int s_from_frac = q.in_fmt.frac_bits + v.fmt.frac_bits;
 
-    out.v_result.resize(v.rows);
+    v_result.assign(v.rows, 0);
     for (std::size_t r = 0; r < v.rows; ++r) {
       std::int64_t acc = 0;
       const auto row = v.row(r);
-      for (std::size_t c = 0; c < row.size(); ++c) {
-        if (act[c] == 0) continue;  // input-sparsity skip, as in hardware
+      for (const std::uint32_t c : nz_idx)
         acc += std::int64_t{row[c]} * std::int64_t{act[c]};
-      }
-      out.v_result[r] =
-          rescale_to_i16(acc, s_from_frac, q.mid_fmt.frac_bits);
+      v_result[r] = rescale_to_i16(acc, s_from_frac, q.mid_fmt.frac_bits);
     }
 
-    out.mask.resize(m);
+    mask.assign(m, 0);
     const std::int64_t threshold = q.threshold_raw();
     for (std::size_t r = 0; r < m; ++r) {
       std::int64_t acc = 0;
       const auto row = u.row(r);
       for (std::size_t c = 0; c < row.size(); ++c)
-        acc += std::int64_t{row[c]} * std::int64_t{out.v_result[c]};
-      out.mask[r] = acc > threshold ? 1 : 0;
+        acc += std::int64_t{row[c]} * std::int64_t{v_result[c]};
+      mask[r] = acc > threshold ? 1 : 0;
     }
   } else {
-    out.mask.assign(m, 1);  // uv_off: every row computed
+    v_result.clear();
+    mask.assign(m, 1);  // uv_off: every row computed
   }
 
   // --- Feedforward phase: masked rows of W, input-sparse MACs ---
   const int w_from_frac = q.in_fmt.frac_bits + q.w.fmt.frac_bits;
-  out.activations.assign(m, 0);
+  activations.assign(m, 0);
   for (std::size_t r = 0; r < m; ++r) {
-    if (!out.mask[r]) continue;
+    if (!mask[r]) continue;
     std::int64_t acc = 0;
     const auto row = q.w.row(r);
-    for (std::size_t c = 0; c < row.size(); ++c) {
-      if (act[c] == 0) continue;
+    for (const std::uint32_t c : nz_idx)
       acc += std::int64_t{row[c]} * std::int64_t{act[c]};
-    }
     std::int16_t y = rescale_to_i16(acc, w_from_frac, q.out_fmt.frac_bits);
     if (!q.is_output) y = std::max<std::int16_t>(y, 0);  // ReLU
-    out.activations[r] = y;
+    activations[r] = y;
   }
-  return out;
 }
 
 std::vector<std::int16_t> QuantizedNetwork::infer_raw(

@@ -83,7 +83,7 @@ class QuantizedNetwork {
   // identity tracks the *object's content history*, not the address.
   // (An address can be reused: System::prepare() re-emplaces its
   // network into the same std::optional slot, so an address+epoch key
-  // would let a CompiledNetworkCache serve the previous network's
+  // would let a ModelZoo serve the previous network's
   // image.) Moved-from sources are also re-identified so a cached
   // image can never match their gutted state.
   QuantizedNetwork(const QuantizedNetwork& other);
@@ -112,6 +112,23 @@ class QuantizedNetwork {
                                      std::span<const std::int16_t> act,
                                      bool use_predictor) const;
 
+  /// forward_layer writing into caller-owned storage (cleared and
+  /// refilled; capacity reused across calls), with every MAC loop
+  /// walking `nz_idx` — the ascending indices of the nonzero entries
+  /// of `act` (the LNZD scan output), which the caller must supply
+  /// exactly. Summing the nonzero terms in ascending order is
+  /// bit-identical to the dense skip-zero loop; this is the single
+  /// definition of the layer arithmetic shared by forward_layer and
+  /// the analytic engine (sim/analytic_engine.hpp). With
+  /// `use_predictor=false` (or no predictor), `v_result` is cleared
+  /// and `mask` is all ones.
+  void forward_layer_into(std::size_t l, std::span<const std::int16_t> act,
+                          std::span<const std::uint32_t> nz_idx,
+                          bool use_predictor,
+                          std::vector<std::int16_t>& v_result,
+                          std::vector<std::uint8_t>& mask,
+                          std::vector<std::int16_t>& activations) const;
+
   /// Whole-network quantised inference; returns the output logits raw.
   std::vector<std::int16_t> infer_raw(std::span<const float> input,
                                       bool use_predictor = true) const;
@@ -133,7 +150,7 @@ class QuantizedNetwork {
   /// Monotone mutation counter. Every mutator (today:
   /// set_prediction_threshold; any future one must do the same)
   /// increments it, so snapshot consumers — sim::CompiledNetwork and
-  /// the sim::CompiledNetworkCache — can detect a stale image exactly
+  /// core/model_zoo.hpp's ModelZoo — can detect a stale image exactly
   /// instead of silently diverging from the source network.
   std::uint64_t epoch() const noexcept { return epoch_; }
 

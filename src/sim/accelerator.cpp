@@ -14,12 +14,6 @@ constexpr std::uint64_t kCycleLimit = 50'000'000;
 
 }  // namespace
 
-EventCounts SimResult::total_events() const {
-  EventCounts total;
-  for (const LayerSimResult& l : layers) total += l.events;
-  return total;
-}
-
 AcceleratorSim::AcceleratorSim(const ArchParams& params)
     : params_(params),
       v_tree_(params_, RouterMode::kAccumulate),   // ctor validates params
@@ -68,7 +62,7 @@ void AcceleratorSim::run_into(const CompiledNetwork& compiled,
   expects(!compiled.stale(),
           "CompiledNetwork is stale: the source network mutated after "
           "compilation (e.g. set_prediction_threshold) — recompile, or "
-          "fetch through a CompiledNetworkCache");
+          "fetch through a ModelZoo");
   const QuantizedNetwork& network = compiled.network();
   network.quantize_input_into(input, input_scratch);
 
@@ -164,28 +158,7 @@ void AcceleratorSim::run_layer_into(const CompiledNetwork& compiled,
       result.v_noc.acc_operations + result.w_noc.acc_operations;
   result.events.cycles = result.total_cycles;
 
-  if (trace_) {
-    std::uint64_t start = 0;
-    const auto emit = [&](const char* phase, std::uint64_t cycles,
-                          std::uint64_t flits, std::uint64_t macs) {
-      if (cycles == 0) return;
-      trace_->record(TraceRecord{.inference = 0,
-                                 .layer = l,
-                                 .phase = phase,
-                                 .start_cycle = start,
-                                 .cycles = cycles,
-                                 .flits = flits,
-                                 .macs = macs,
-                                 .nnz_inputs = result.nnz_inputs,
-                                 .active_rows = result.active_rows});
-      start += cycles;
-    };
-    emit("V", result.v_cycles, result.v_noc.flit_hops,
-         result.events.v_mem_reads);
-    emit("U", result.u_cycles, 0, result.events.u_mem_reads);
-    emit("W", result.w_cycles, result.w_noc.flit_hops,
-         result.events.w_mem_reads);
-  }
+  if (trace_) record_layer_trace(*trace_, l, result);
 }
 
 std::uint64_t AcceleratorSim::simulate_v_phase(const QuantizedLayer& layer,

@@ -1,5 +1,8 @@
 #pragma once
-// The top-level cycle-accurate SparseNN simulator.
+// The top-level cycle-accurate SparseNN simulator — the
+// EngineKind::kCycle backend of the ExecutionEngine layer
+// (sim/engine.hpp). Its results are the ground truth the analytic
+// backend's predictions are verified against.
 //
 // AcceleratorSim owns the 64 PEs and drives the per-layer phase
 // sequence of Section V.D:
@@ -51,54 +54,17 @@
 #include "noc/htree.hpp"
 #include "pe/pe.hpp"
 #include "sim/compiled_network.hpp"
+#include "sim/engine.hpp"
 #include "sim/trace.hpp"
 
 namespace sparsenn {
 
-/// Whether run() cross-checks every layer's simulated activations
-/// against the functional fixed-point model.
-enum class ValidationMode {
-  kFull,  ///< golden forward pass + ensures() per layer (tests, CLI)
-  kOff,   ///< trust the engine (batch/bench hot paths after an
-          ///< initial validated inference) — results are identical,
-          ///< only the redundant golden recomputation is skipped
-};
-
-/// Cycle/energy results for one layer of one inference.
-struct LayerSimResult {
-  std::uint64_t v_cycles = 0;
-  std::uint64_t u_cycles = 0;
-  std::uint64_t w_cycles = 0;
-  std::uint64_t total_cycles = 0;
-  EventCounts events;           ///< all PEs + routers, this layer
-  NocStats w_noc;               ///< W-phase network statistics
-  NocStats v_noc;               ///< V-phase reduction statistics
-  std::vector<std::int16_t> activations;  ///< produced layer output
-  std::size_t nnz_inputs = 0;   ///< nonzero input activations
-  std::size_t active_rows = 0;  ///< rows actually computed
-
-  friend bool operator==(const LayerSimResult&,
-                         const LayerSimResult&) = default;
-};
-
-/// Whole-inference results.
-struct SimResult {
-  std::vector<LayerSimResult> layers;
-  std::vector<std::int16_t> output;
-  std::uint64_t total_cycles = 0;
-
-  EventCounts total_events() const;
-
-  friend bool operator==(const SimResult&, const SimResult&) = default;
-};
-
-class ResultArena;  // sim/result_arena.hpp — holds SimResult storage
-
-class AcceleratorSim {
+class AcceleratorSim final : public ExecutionEngine {
  public:
   explicit AcceleratorSim(const ArchParams& params);
 
-  const ArchParams& params() const noexcept { return params_; }
+  EngineKind kind() const noexcept override { return EngineKind::kCycle; }
+  const ArchParams& params() const noexcept override { return params_; }
 
   /// Runs one inference against a one-shot compiled image with full
   /// validation — identical results to the compiled overload. The
@@ -115,20 +81,21 @@ class AcceleratorSim {
   /// outlive the call.
   SimResult run(const CompiledNetwork& compiled,
                 std::span<const float> input,
-                ValidationMode validation = ValidationMode::kFull);
+                ValidationMode validation = ValidationMode::kFull) override;
 
   /// Same engine, but the SimResult and all its vectors live in
   /// `arena` (see sim/result_arena.hpp): with ValidationMode::kOff the
   /// inference is allocation-free in steady state. The returned
   /// reference is into the arena and is overwritten by the next run
   /// using it.
-  const SimResult& run(const CompiledNetwork& compiled,
-                       std::span<const float> input, ResultArena& arena,
-                       ValidationMode validation = ValidationMode::kFull);
+  const SimResult& run(
+      const CompiledNetwork& compiled, std::span<const float> input,
+      ResultArena& arena,
+      ValidationMode validation = ValidationMode::kFull) override;
 
   /// Attaches a trace log; every subsequent run() appends per-phase
   /// records. Pass nullptr to detach. The log must outlive the sim.
-  void set_trace(TraceLog* trace) noexcept { trace_ = trace; }
+  void set_trace(TraceLog* trace) noexcept override { trace_ = trace; }
 
  private:
   /// Shared implementation of every entry point: quantises the input

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -113,7 +114,7 @@ BatchResult BatchRunner::run(const CompiledNetwork& compiled,
   expects(!compiled.stale(),
           "CompiledNetwork is stale: the source network mutated after "
           "compilation — recompile, or fetch through a "
-          "CompiledNetworkCache");
+          "ModelZoo");
 
   // Count images, not labels: an unlabeled dataset (inputs only) is
   // still runnable — it just reports error_rate_percent = -1.
@@ -136,13 +137,16 @@ BatchResult BatchRunner::run(const CompiledNetwork& compiled,
   std::exception_ptr error;
 
   const auto worker = [&](std::size_t worker_id) {
-    // One private simulator per worker: AcceleratorSim carries per-PE
-    // register files and event counters across run() calls. The
-    // compiled image is shared read-only. Aggregate-only workers also
-    // carry a private ResultArena, pre-sized for the compiled image,
-    // so their steady-state inferences are allocation-free: the
-    // SimResult is folded into the accumulator and its storage reused.
-    AcceleratorSim sim(params_);
+    // One private engine per worker: backends carry per-inference
+    // scratch (the cycle engine its per-PE register files and event
+    // counters) across run() calls. The compiled image is shared
+    // read-only. Aggregate-only workers also carry a private
+    // ResultArena, pre-sized for the compiled image, so their
+    // steady-state inferences are allocation-free on the cycle
+    // backend: the SimResult is folded into the accumulator and its
+    // storage reused.
+    const std::unique_ptr<ExecutionEngine> engine = make_engine(
+        options_.engine.value_or(EngineKind::kCycle), params_);
     ResultArena arena;
     if (!options_.keep_results) arena.reserve(compiled);
     bool validated_one = false;
@@ -159,9 +163,10 @@ BatchResult BatchRunner::run(const CompiledNetwork& compiled,
                 : ValidationMode::kOff;
         validated_one = true;
         if (options_.keep_results) {
-          results[i] = sim.run(compiled, data.image(i), mode);
+          results[i] = engine->run(compiled, data.image(i), mode);
         } else {
-          const SimResult& r = sim.run(compiled, data.image(i), arena, mode);
+          const SimResult& r =
+              engine->run(compiled, data.image(i), arena, mode);
           const bool is_correct =
               have_labels &&
               argmax_i16(r.output) ==

@@ -2,11 +2,12 @@
 // Multi-threaded batched-inference driver.
 //
 // BatchRunner shards a set of inputs across N worker threads, each
-// owning a private AcceleratorSim — the simulator is stateful (per-PE
-// register files, event counters), so instances cannot be shared. The
-// network, however, is compiled to its per-PE slice image exactly once
-// per batch (sim/compiled_network.hpp) and shared read-only by every
-// worker: per-inference work touches only input-dependent state.
+// owning a private ExecutionEngine backend (sim/engine.hpp; the cycle
+// or analytic engine per BatchOptions::engine) — engines are stateful
+// scratch owners, so instances cannot be shared. The network, however,
+// is compiled to its per-PE slice image exactly once per batch
+// (sim/compiled_network.hpp) and shared read-only by every worker:
+// per-inference work touches only input-dependent state.
 // Work is handed out through an atomic cursor, every inference writes
 // its SimResult into a preallocated slot indexed by input, and
 // aggregation happens after the join in input order. The merged
@@ -22,14 +23,15 @@
 // exactly 0 and tests/result_arena_test pins it.
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "arch/energy.hpp"
 #include "arch/params.hpp"
 #include "data/dataset.hpp"
 #include "nn/quantized.hpp"
-#include "sim/accelerator.hpp"
 #include "sim/compiled_network.hpp"
+#include "sim/engine.hpp"
 
 namespace sparsenn {
 
@@ -49,6 +51,12 @@ struct BatchOptions {
   std::size_t max_samples = 0;  ///< 0 = the whole dataset
   bool keep_results = true;     ///< retain the per-input SimResults
   BatchValidation validation = BatchValidation::kFirstInference;
+  /// Cost backend each worker instantiates (sim/engine.hpp): kCycle
+  /// for exact cycles/events, kAnalytic for bit-identical predictions
+  /// at an order of magnitude more inferences per second. Unset means
+  /// inherit: System::simulate_batch fills in the system's configured
+  /// engine; a standalone BatchRunner resolves it to kCycle.
+  std::optional<EngineKind> engine;
 };
 
 /// Aggregate per-layer totals over the whole batch (exact integer sums).

@@ -62,28 +62,4 @@ CompiledNetwork::CompiledNetwork(const QuantizedNetwork& network,
   }
 }
 
-CompiledNetworkCache::CompiledNetworkCache(const ArchParams& params)
-    : params_(params) {
-  params_.validate();
-}
-
-const CompiledNetwork& CompiledNetworkCache::get(
-    const QuantizedNetwork& network, bool use_predictor) {
-  std::optional<CompiledNetwork>& entry = entries_[use_predictor ? 1 : 0];
-  // compiled_from() keys on stored (uid, epoch) — it never touches the
-  // cached entry's network pointer, which may dangle if the source
-  // network died or was re-emplaced since the entry was compiled.
-  const bool hit = entry.has_value() && entry->compiled_from(network);
-  if (!hit) {
-    entry.emplace(network, params_, use_predictor);
-    ++compile_count_;
-  }
-  return *entry;
-}
-
-void CompiledNetworkCache::invalidate() noexcept {
-  entries_[0].reset();
-  entries_[1].reset();
-}
-
 }  // namespace sparsenn

@@ -23,13 +23,12 @@
 // QuantizedNetwork and the chosen ArchParams must outlive the
 // CompiledNetwork.
 //
-// CompiledNetworkCache closes the remaining recompile-per-call hole:
+// core/model_zoo.hpp closes the remaining recompile-per-call hole:
 // single-shot sweeps (System::simulate, the CLI simulate command, the
-// fig/ablation benches) ask the cache instead of compiling, and the
-// cache re-uses one image per uv mode until the network epoch moves.
+// fig/ablation benches) fetch images from a ModelZoo — a multi-network
+// LRU keyed on (uid, epoch, uv mode) — instead of compiling per call.
 
 #include <cstdint>
-#include <optional>
 #include <vector>
 
 #include "arch/params.hpp"
@@ -118,42 +117,6 @@ class CompiledNetwork {
   std::vector<std::int16_t> v_pool_;
 
   std::vector<PeLayerSlice> slices_;  ///< [layer * num_pes + pe]
-};
-
-/// Memoises compiled images keyed on (network uid+epoch, the
-/// cache's ArchParams, uv mode). One slot per uv mode is enough: a
-/// sweep alternating uv_on/uv_off (compare_hardware, the CLI's
-/// `--uv both`) keeps both images warm simultaneously. get() recompiles
-/// only when the slot is empty, a different network is passed (uids
-/// differ — address reuse cannot fool this key), or the network epoch
-/// moved (any mutation, e.g. set_prediction_threshold);
-/// compile_count() exposes how many real compilations happened so
-/// callers/tests can assert cache behaviour. The cache owns its images:
-/// a returned reference stays valid until the next get() for the same
-/// uv mode or invalidate(). Not thread-safe — share the returned
-/// CompiledNetwork across threads, not concurrent get() calls.
-class CompiledNetworkCache {
- public:
-  explicit CompiledNetworkCache(const ArchParams& params);
-
-  const ArchParams& params() const noexcept { return params_; }
-
-  /// The compiled image for (network@its-current-epoch, uv mode),
-  /// compiling at most once per distinct key.
-  const CompiledNetwork& get(const QuantizedNetwork& network,
-                             bool use_predictor);
-
-  /// Drops both cached images (e.g. when the source network dies
-  /// before the cache does, or to release the memory eagerly).
-  void invalidate() noexcept;
-
-  /// Total real compilations performed by get() so far.
-  std::uint64_t compile_count() const noexcept { return compile_count_; }
-
- private:
-  ArchParams params_;
-  std::optional<CompiledNetwork> entries_[2];  ///< [uv_off, uv_on]
-  std::uint64_t compile_count_ = 0;
 };
 
 }  // namespace sparsenn

@@ -27,8 +27,8 @@
 #include <cstdint>
 #include <vector>
 
-#include "sim/accelerator.hpp"
 #include "sim/compiled_network.hpp"
+#include "sim/engine.hpp"
 
 namespace sparsenn {
 

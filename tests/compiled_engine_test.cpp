@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "core/model_zoo.hpp"
 #include "sim/accelerator.hpp"
 #include "sim/batch_runner.hpp"
 #include "sim/compiled_network.hpp"
@@ -213,10 +214,10 @@ TEST(CompiledEngine, EpochIsMonotone) {
   EXPECT_EQ(q.epoch(), e0 + 2);
 }
 
-TEST(CompiledNetworkCache, ReusesImagesUntilEpochMoves) {
+TEST(ModelZooCache, ReusesImagesUntilEpochMoves) {
   Rng rng{27};
   QuantizedNetwork q = seeded_network(rng);
-  CompiledNetworkCache cache(tiny_arch());
+  ModelZoo cache(tiny_arch());
   EXPECT_EQ(cache.compile_count(), 0u);
 
   const CompiledNetwork& on = cache.get(q, true);
@@ -243,14 +244,14 @@ TEST(CompiledNetworkCache, ReusesImagesUntilEpochMoves) {
   EXPECT_EQ(cache.compile_count(), 4u);
 }
 
-TEST(CompiledNetworkCache, AddressReuseNeverServesTheOldNetworksImage) {
+TEST(ModelZooCache, AddressReuseNeverServesTheOldNetworksImage) {
   // Regression guard for the cache key: System::prepare() re-emplaces
   // its QuantizedNetwork into the same std::optional slot, so a new
   // network routinely occupies a dead network's address at epoch 0. A
   // key of (address, epoch) would serve the OLD network's weights; the
   // (uid, epoch) key must recompile.
   Rng rng{35};
-  CompiledNetworkCache cache(tiny_arch());
+  ModelZoo cache(tiny_arch());
   std::optional<QuantizedNetwork> slot(seeded_network(rng));
   (void)cache.get(*slot, true);
   EXPECT_EQ(cache.compile_count(), 1u);
@@ -282,9 +283,9 @@ TEST(CompiledEngine, UidIsFreshAcrossCopiesAndAssignment) {
   EXPECT_NE(c.uid(), b.uid());  // NOLINT(bugprone-use-after-move)
 }
 
-TEST(CompiledNetworkCache, CachedRunsBitIdenticalToUncached) {
+TEST(ModelZooCache, CachedRunsBitIdenticalToUncached) {
   const Fixture f = make_batch_fixture(5, /*seed=*/51);
-  CompiledNetworkCache cache(tiny_arch());
+  ModelZoo cache(tiny_arch());
   AcceleratorSim sim(tiny_arch());
   for (const bool uv_on : {true, false}) {
     for (std::size_t i = 0; i < f.data.size(); ++i) {

@@ -65,6 +65,42 @@ TEST(System, EndToEndPipeline) {
             off.layers[0].events.w_mem_reads);
 }
 
+TEST(System, AnalyticEngineServesIdenticalPredictions) {
+  SystemOptions options = tiny_options();
+  options.engine = EngineKind::kAnalytic;
+  System system(options);
+  system.prepare();
+  EXPECT_EQ(system.engine_kind(), EngineKind::kAnalytic);
+
+  // The analytic backend's output must equal the functional
+  // fixed-point model exactly (which the cycle backend is in turn
+  // validated against), for both uv modes, with the usual one compile
+  // per (epoch, uv) through the ModelZoo.
+  for (const bool uv_on : {true, false}) {
+    const SimResult run = system.simulate(0, uv_on);
+    EXPECT_EQ(run.output, system.quantized().infer_raw(
+                              system.dataset().test.image(0), uv_on));
+    EXPECT_GT(run.total_cycles, 0u);
+  }
+  (void)system.simulate(1, true);
+  EXPECT_EQ(system.compiled_network_compile_count(), 2u);
+
+  // An unset BatchOptions::engine inherits the system's backend: the
+  // batch totals carry the analytic cycle estimates, not the cycle
+  // engine's exact counts (an explicit override still wins).
+  BatchOptions batch;
+  batch.max_samples = 4;
+  batch.keep_results = false;
+  const BatchResult inherited = system.simulate_batch(batch);
+  batch.engine = EngineKind::kAnalytic;
+  const BatchResult analytic = system.simulate_batch(batch);
+  batch.engine = EngineKind::kCycle;
+  const BatchResult cycle = system.simulate_batch(batch);
+  EXPECT_EQ(inherited.total_cycles, analytic.total_cycles);
+  EXPECT_EQ(inherited.error_rate_percent, cycle.error_rate_percent);
+  EXPECT_NE(cycle.total_cycles, analytic.total_cycles);
+}
+
 TEST(System, CompareHardwareShapes) {
   System system(tiny_options());
   system.prepare();
