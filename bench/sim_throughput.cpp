@@ -12,7 +12,10 @@
 //     cross-checked against the functional golden model
 //     (AcceleratorSim::run(network, ...)); this is also exactly what a
 //     repeated System::simulate() sweep cost before the system-level
-//     compiled-image cache (today's ModelZoo) existed;
+//     compiled-image cache (today's ModelZoo) existed. This engine
+//     runs with macro-stepping disabled (pure per-cycle ticking), so
+//     the bit_identical assertion below also pins the macro-stepped
+//     engines against the per-cycle reference on every sample;
 //
 //   "compiled" — the network is compiled once (CompiledNetwork), the
 //     first inference runs with ValidationMode::kFull, and the rest
@@ -65,6 +68,7 @@
 
 #include "common/alloc_counter.hpp"
 #include "common/cli_args.hpp"
+#include "common/simd.hpp"
 #include "common/rng.hpp"
 #include "core/model_zoo.hpp"
 #include "data/dataset.hpp"
@@ -172,15 +176,17 @@ int main(int argc, char** argv) {
     AcceleratorSim sim(arch);
     using clock = std::chrono::steady_clock;
 
-    // ---- per-inference engine (seed behaviour) ----
+    // ---- per-inference engine (seed behaviour, pure per-cycle) ----
     std::vector<SimResult> reference;
     reference.reserve(samples);
     EngineStats per_inference;
     {
+      AcceleratorSim per_cycle_sim(arch);
+      per_cycle_sim.set_macro_stepping(false);
       const std::uint64_t allocs_before = g_allocs.load();
       const auto start = clock::now();
       for (const Vector& x : inputs)
-        reference.push_back(sim.run(quantized, x, use_predictor));
+        reference.push_back(per_cycle_sim.run(quantized, x, use_predictor));
       per_inference.wall_seconds =
           std::chrono::duration<double>(clock::now() - start).count();
       per_inference.allocs = g_allocs.load() - allocs_before;
@@ -387,7 +393,9 @@ int main(int argc, char** argv) {
     {
       std::ostringstream os;
       os << "{\n  \"samples\": " << samples << ",\n  \"hidden\": " << hidden
-         << ",\n  \"uv\": \"" << (use_predictor ? "on" : "off") << "\",\n";
+         << ",\n  \"uv\": \"" << (use_predictor ? "on" : "off")
+         << "\",\n  \"simd_isa\": \"" << to_string(active_simd_isa())
+         << "\",\n";
       print_engine(os, "per_inference", per_inference);
       os << ",\n";
       print_engine(os, "compiled", compiled_stats);

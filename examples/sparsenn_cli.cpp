@@ -12,6 +12,10 @@
 //                         [--engine cycle|analytic]
 //   sparsenn_cli info     [--model model.bin]
 //
+// Every command also takes --simd auto|scalar: `scalar` forces the
+// scalar reference kernels (same effect as SPARSENN_FORCE_SCALAR=1)
+// so experiments pin their dispatch.
+//
 // `train` produces a serialized model; `eval` reports float and
 // quantised TER; `simulate` deploys it on the 64-PE model; `batch`
 // shards a test batch across worker threads (each with a private
@@ -28,6 +32,7 @@
 
 #include "arch/area.hpp"
 #include "common/cli_args.hpp"
+#include "common/simd.hpp"
 #include "common/table.hpp"
 #include "core/model_zoo.hpp"
 #include "data/dataset.hpp"
@@ -67,6 +72,19 @@ EngineKind parse_engine(const Args& args) {
     throw UsageError("--engine takes cycle|analytic, got '" + name + "'");
   }
   return *kind;
+}
+
+/// --simd auto|scalar (any command): `scalar` forces the scalar
+/// reference kernels (same effect as SPARSENN_FORCE_SCALAR=1) so
+/// experiments pin their dispatch; anything else is a UsageError
+/// (exit 2), mirroring --engine.
+void apply_simd_flag(const Args& args) {
+  const std::string name = args.get("simd", "auto");
+  if (name == "scalar") {
+    force_scalar_kernels(true);
+  } else if (name != "auto") {
+    throw UsageError("--simd takes auto|scalar, got '" + name + "'");
+  }
 }
 
 DatasetSplit make_split(const Args& args) {
@@ -279,6 +297,7 @@ int main(int argc, char** argv) {
     // Parse inside the try: a malformed line (e.g. a trailing flag
     // with no value) is a UsageError → exit 2.
     const Args args(argc, argv, 2);
+    apply_simd_flag(args);
     if (command == "train") return cmd_train(args);
     if (command == "eval") return cmd_eval(args);
     if (command == "simulate") return cmd_simulate(args);

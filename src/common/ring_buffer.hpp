@@ -33,13 +33,19 @@ class RingBuffer {
 
   const T& front() const noexcept { return slots_[head_]; }
 
+  // head_ < capacity and count_ <= capacity always hold, so the wrap
+  // is a single compare-subtract — no division in the per-cycle
+  // push/pop path (a runtime modulo costs more than the rest of the
+  // operation combined).
   void push_back(const T& value) noexcept {
-    slots_[(head_ + count_) % slots_.size()] = value;
+    std::size_t pos = head_ + count_;
+    if (pos >= slots_.size()) pos -= slots_.size();
+    slots_[pos] = value;
     ++count_;
   }
 
   void pop_front() noexcept {
-    head_ = (head_ + 1) % slots_.size();
+    if (++head_ >= slots_.size()) head_ = 0;
     --count_;
   }
 

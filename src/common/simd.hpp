@@ -1,0 +1,50 @@
+#pragma once
+// Runtime SIMD ISA selection for the fixed-point kernel layer
+// (common/kernels.hpp).
+//
+// The simulator's inner loops are integer MACs over int16 words with
+// exact 64-bit accumulation. Integer addition is associative and
+// commutative, so a vectorised kernel that reorders the partial sums
+// produces bit-identical accumulators to the scalar reference — which
+// is what lets the SIMD layer sit underneath the bit-exact contract
+// between the functional model and the cycle engine.
+//
+// Selection is resolved once, at the first kernels() call:
+//
+//   1. If the SPARSENN_FORCE_SCALAR environment variable is set to
+//      anything but "0"/"" (or force_scalar_kernels(true) was called,
+//      e.g. by `sparsenn_cli --simd=scalar`), the scalar reference
+//      kernels are used everywhere.
+//   2. Otherwise the best ISA the running CPU supports wins:
+//      AVX2 > SSE4.2 on x86-64, NEON on aarch64, scalar elsewhere.
+//
+// force_scalar_kernels() may also be called after first use; the
+// dispatch table pointer is atomic and later kernels() calls observe
+// the override. Per-ISA tables stay reachable through kernels_for()
+// so tests and benches can compare every compiled-in implementation
+// against the scalar reference regardless of what the host dispatches.
+
+namespace sparsenn {
+
+enum class SimdIsa {
+  kScalar,
+  kSse42,
+  kAvx2,
+  kNeon,
+};
+
+/// Lower-case ISA name ("scalar", "sse4.2", "avx2", "neon") — recorded
+/// in the bench JSON so perf numbers carry their dispatch context.
+const char* to_string(SimdIsa isa) noexcept;
+
+/// Best ISA supported by this binary on this CPU (ignores overrides).
+SimdIsa detect_simd_isa() noexcept;
+
+/// The ISA the kernel table currently dispatches to (after overrides).
+SimdIsa active_simd_isa() noexcept;
+
+/// Programmatic scalar override, equivalent to SPARSENN_FORCE_SCALAR.
+/// Takes effect for every kernels() call after it returns.
+void force_scalar_kernels(bool force) noexcept;
+
+}  // namespace sparsenn

@@ -6,10 +6,17 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/kernels.hpp"
 #include "tensor/ops.hpp"
 
 namespace sparsenn {
 namespace {
+
+/// Per-thread 64-bit accumulator bank for the column-sweep forward
+/// pass (thread-local so a shared const QuantizedNetwork stays safe to
+/// call from concurrent BatchRunner workers; capacity persists, so the
+/// steady state stays allocation-free).
+thread_local std::vector<std::int64_t> t_acc64;
 
 QuantizedTensor quantize_matrix(const Matrix& m) {
   QuantizedTensor out;
@@ -23,6 +30,18 @@ QuantizedTensor quantize_matrix(const Matrix& m) {
 FixedPointFormat format_for_max(double max_abs) {
   std::vector<float> probe{static_cast<float>(max_abs)};
   return choose_format(probe);
+}
+
+QuantizedTensor transpose(const QuantizedTensor& t) {
+  QuantizedTensor out;
+  out.rows = t.cols;
+  out.cols = t.rows;
+  out.fmt = t.fmt;
+  out.data.resize(t.data.size());
+  for (std::size_t r = 0; r < t.rows; ++r)
+    for (std::size_t c = 0; c < t.cols; ++c)
+      out.data[c * t.rows + r] = t.data[r * t.cols + c];
+  return out;
 }
 
 }  // namespace
@@ -107,12 +126,15 @@ QuantizedNetwork::QuantizedNetwork(const Network& network,
   for (std::size_t l = 0; l < nl; ++l) {
     QuantizedLayer q;
     q.w = quantize_matrix(network.weight(l));
+    q.w_t = transpose(q.w);
     q.is_output = (l + 1 == nl);
     q.in_fmt = format_for_max(act_max[l]);
     q.out_fmt = format_for_max(act_max[l + 1]);
     if (!q.is_output && network.has_predictor(l)) {
       q.u = quantize_matrix(network.predictor(l).u());
       q.v = quantize_matrix(network.predictor(l).v());
+      q.u_t = transpose(*q.u);
+      q.v_t = transpose(*q.v);
       q.mid_fmt = format_for_max(mid_max[l]);
     }
     layers_.push_back(std::move(q));
@@ -133,10 +155,9 @@ void QuantizedNetwork::quantize_input_into(
   expects(input.size() == layers_.front().w.cols,
           "input dimension mismatch");
   const FixedPointFormat fmt = layers_.front().in_fmt;
-  out.clear();
-  out.reserve(input.size());
-  for (const float v : input)
-    out.push_back(Fixed16::quantize_raw(v, fmt));
+  out.resize(input.size());
+  kernels().quantize_f32_i16(input.data(), input.size(),
+                             static_cast<float>(fmt.scale()), out.data());
 }
 
 QuantizedLayerResult QuantizedNetwork::forward_layer(
@@ -144,10 +165,9 @@ QuantizedLayerResult QuantizedNetwork::forward_layer(
     bool use_predictor) const {
   // One LNZD-style scan up front; every matrix loop then walks only
   // the nonzero terms (input-sparsity skip, as in hardware).
-  std::vector<std::uint32_t> nz_idx;
-  nz_idx.reserve(act.size());
-  for (std::size_t c = 0; c < act.size(); ++c)
-    if (act[c] != 0) nz_idx.push_back(static_cast<std::uint32_t>(c));
+  std::vector<std::uint32_t> nz_idx(act.size());
+  nz_idx.resize(
+      kernels().nonzero_scan_i16(act.data(), act.size(), nz_idx.data()));
 
   QuantizedLayerResult out;
   forward_layer_into(l, act, nz_idx, use_predictor, out.v_result,
@@ -164,31 +184,52 @@ void QuantizedNetwork::forward_layer_into(
   expects(act.size() == q.w.cols, "activation dimension mismatch");
 
   const std::size_t m = q.w.rows;
+  const KernelTable& kern = kernels();
+
+  // Every matvec runs the hardware's input-sparse column-MAC
+  // schedule over a transposed mirror: the whole-matvec kernel tiles
+  // the accumulator bank in registers across all nonzero columns, and
+  // narrow banks (rank-wide V results, below one tile) fall back to
+  // fused pair sweeps. Integer accumulation is exact in any order, so
+  // this is bit-identical to walking each row's nonzero terms; rows
+  // that end up masked simply carry unused accumulator values.
+  std::vector<std::int64_t>& acc = t_acc64;
+  const auto sparse_matvec = [&](const QuantizedTensor& cols,
+                                 std::size_t width) {
+    acc.assign(width, 0);
+    kern.sparse_matvec_i16_i64(acc.data(), cols.data.data(), width,
+                               nz_idx.data(), nz_idx.size(), act.data());
+  };
 
   // --- Prediction phase: s = V a, t = U s, bit = t > 0 ---
   if (use_predictor && q.has_predictor() && !q.is_output) {
     const QuantizedTensor& v = *q.v;
-    const QuantizedTensor& u = *q.u;
+    const QuantizedTensor& u_t = *q.u_t;
+    const std::size_t rank = v.rows;
     const int s_from_frac = q.in_fmt.frac_bits + v.fmt.frac_bits;
 
-    v_result.assign(v.rows, 0);
-    for (std::size_t r = 0; r < v.rows; ++r) {
-      std::int64_t acc = 0;
-      const auto row = v.row(r);
-      for (const std::uint32_t c : nz_idx)
-        acc += std::int64_t{row[c]} * std::int64_t{act[c]};
-      v_result[r] = rescale_to_i16(acc, s_from_frac, q.mid_fmt.frac_bits);
-    }
+    sparse_matvec(*q.v_t, rank);
+    v_result.assign(rank, 0);
+    for (std::size_t r = 0; r < rank; ++r)
+      v_result[r] =
+          rescale_to_i16(acc[r], s_from_frac, q.mid_fmt.frac_bits);
 
+    // t = U s over the transposed mirror, skipping zero s terms (zero
+    // terms contribute exactly zero — pure speed, never results).
+    thread_local std::vector<std::uint32_t> t_s_idx;
+    t_s_idx.clear();
+    t_s_idx.reserve(rank);
+    for (std::size_t k = 0; k < rank; ++k)
+      if (v_result[k] != 0)
+        t_s_idx.push_back(static_cast<std::uint32_t>(k));
+    acc.assign(m, 0);
+    kern.sparse_matvec_i16_i64(acc.data(), u_t.data.data(), m,
+                               t_s_idx.data(), t_s_idx.size(),
+                               v_result.data());
     mask.assign(m, 0);
     const std::int64_t threshold = q.threshold_raw();
-    for (std::size_t r = 0; r < m; ++r) {
-      std::int64_t acc = 0;
-      const auto row = u.row(r);
-      for (std::size_t c = 0; c < row.size(); ++c)
-        acc += std::int64_t{row[c]} * std::int64_t{v_result[c]};
-      mask[r] = acc > threshold ? 1 : 0;
-    }
+    for (std::size_t r = 0; r < m; ++r)
+      mask[r] = acc[r] > threshold ? 1 : 0;
   } else {
     v_result.clear();
     mask.assign(m, 1);  // uv_off: every row computed
@@ -196,14 +237,12 @@ void QuantizedNetwork::forward_layer_into(
 
   // --- Feedforward phase: masked rows of W, input-sparse MACs ---
   const int w_from_frac = q.in_fmt.frac_bits + q.w.fmt.frac_bits;
+  sparse_matvec(q.w_t, m);
   activations.assign(m, 0);
   for (std::size_t r = 0; r < m; ++r) {
     if (!mask[r]) continue;
-    std::int64_t acc = 0;
-    const auto row = q.w.row(r);
-    for (const std::uint32_t c : nz_idx)
-      acc += std::int64_t{row[c]} * std::int64_t{act[c]};
-    std::int16_t y = rescale_to_i16(acc, w_from_frac, q.out_fmt.frac_bits);
+    std::int16_t y =
+        rescale_to_i16(acc[r], w_from_frac, q.out_fmt.frac_bits);
     if (!q.is_output) y = std::max<std::int16_t>(y, 0);  // ReLU
     activations[r] = y;
   }

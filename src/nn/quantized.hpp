@@ -41,6 +41,17 @@ struct QuantizedLayer {
   QuantizedTensor w;                    ///< m × n
   std::optional<QuantizedTensor> u;     ///< m × r
   std::optional<QuantizedTensor> v;     ///< r × n
+  /// Column-major mirrors (built once at quantisation): the functional
+  /// forward pass runs every matvec as input-sparse column-axpy sweeps
+  /// over contiguous transposed rows — the hardware's own column-MAC
+  /// schedule, and measurably faster than row dots here (short U rows
+  /// defeat row SIMD; gathered sparse row walks lose to contiguous
+  /// axpy even at a few× the MAC count). w_t is n × m, u_t is r × m,
+  /// v_t is n × r; exact integer accumulation makes the reordering
+  /// bit-identical to the row-major nonzero walk.
+  QuantizedTensor w_t;
+  std::optional<QuantizedTensor> u_t;
+  std::optional<QuantizedTensor> v_t;
   FixedPointFormat in_fmt{};            ///< format of incoming activations
   FixedPointFormat out_fmt{};           ///< format of produced activations
   FixedPointFormat mid_fmt{};           ///< format of s = V a

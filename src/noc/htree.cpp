@@ -44,6 +44,21 @@ UpwardTree::UpwardTree(const ArchParams& params, RouterMode mode)
   outputs_scratch_.resize(levels_.size());
   for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl)
     outputs_scratch_[lvl].resize(levels_[lvl].size());
+
+  // Precompute every child → parent link (see the member comment):
+  // entry lvl maps the children feeding level lvl (PEs for level 0).
+  parent_idx_.resize(levels_.size());
+  parent_port_.resize(levels_.size());
+  for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {
+    const std::size_t children =
+        lvl == 0 ? num_pes_ : levels_[lvl - 1].size();
+    parent_idx_[lvl].resize(children);
+    parent_port_[lvl].resize(children);
+    for (std::size_t i = 0; i < children; ++i) {
+      parent_idx_[lvl][i] = static_cast<std::uint32_t>(i / radix_);
+      parent_port_[lvl][i] = static_cast<std::uint32_t>(i % radix_);
+    }
+  }
 }
 
 void UpwardTree::reset() {
@@ -52,17 +67,38 @@ void UpwardTree::reset() {
   for (auto& tier : outputs_scratch_)
     for (auto& out : tier) out.reset();
   buffered_total_ = 0;
+  last_step_transferred_ = true;
 }
 
-bool UpwardTree::can_inject(std::size_t pe) const {
-  expects(pe < num_pes_, "PE id out of range");
-  return levels_.front()[pe / radix_].can_accept(pe % radix_);
+void UpwardTree::skip_idle(std::uint64_t k) {
+  expects(buffered_total_ == 0, "skip_idle on a non-idle tree");
+  for (auto& tier : levels_)
+    for (Router& router : tier) router.skip_idle(k);
 }
 
-void UpwardTree::inject(std::size_t pe, const Flit& flit) {
-  expects(pe < num_pes_, "PE id out of range");
-  levels_.front()[pe / radix_].push(pe % radix_, flit);
-  ++buffered_total_;
+bool UpwardTree::stalled_static() const {
+  if (root().mode() != RouterMode::kArbitrate) return false;
+  for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {
+    const bool is_root = (lvl + 1 == levels_.size());
+    for (std::size_t i = 0; i < levels_[lvl].size(); ++i) {
+      const Router& r = levels_[lvl][i];
+      // A credit still in flight could reopen a parent port mid-window.
+      if (!r.credits_quiet()) return false;
+      if (r.idle()) continue;
+      // A non-root router whose parent can accept would move a flit;
+      // the root's consumer is closed by the caller's precondition.
+      if (!is_root &&
+          levels_[lvl + 1][parent_idx_[lvl + 1][i]].can_accept(
+              parent_port_[lvl + 1][i]))
+        return false;
+    }
+  }
+  return true;
+}
+
+void UpwardTree::skip_stalled(std::uint64_t k) {
+  for (auto& tier : levels_)
+    for (Router& router : tier) router.skip_stalled(k);
 }
 
 void UpwardTree::close_injector(std::size_t pe) {
@@ -75,22 +111,35 @@ std::optional<Flit> UpwardTree::step(bool root_ready) {
   // then transfers commit, so a hop takes exactly one cycle. The
   // decisions land in scratch buffers preallocated at construction.
   auto& outputs = outputs_scratch_;
+  bool transferred = false;
   for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {
     auto& tier = levels_[lvl];
     const bool is_root = (lvl + 1 == levels_.size());
     for (std::size_t i = 0; i < tier.size(); ++i) {
+      // An empty router decides nothing (and charges no statistics in
+      // step()); skipping it saves the port scan and the parent credit
+      // lookup. Its commit below still ticks the cycle counters.
+      if (tier[i].idle()) {
+        outputs[lvl][i].reset();
+        continue;
+      }
       const bool parent_ready =
           is_root ? root_ready
-                  : levels_[lvl + 1][i / radix_].can_accept(i % radix_);
+                  : levels_[lvl + 1][parent_idx_[lvl + 1][i]].can_accept(
+                        parent_port_[lvl + 1][i]);
       outputs[lvl][i] = tier[i].step(parent_ready);
+      transferred = transferred || outputs[lvl][i].has_value();
     }
   }
+  last_step_transferred_ = transferred;
 
   // Commit transfers into parent buffers.
   for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
     for (std::size_t i = 0; i < levels_[lvl].size(); ++i) {
-      if (outputs[lvl][i])
-        levels_[lvl + 1][i / radix_].push(i % radix_, *outputs[lvl][i]);
+      if (outputs[lvl][i]) {
+        levels_[lvl + 1][parent_idx_[lvl + 1][i]].push(
+            parent_port_[lvl + 1][i], *outputs[lvl][i]);
+      }
     }
   }
 
@@ -100,8 +149,10 @@ std::optional<Flit> UpwardTree::step(bool root_ready) {
     for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
       for (std::size_t i = 0; i < levels_[lvl].size(); ++i) {
         const Router& child = levels_[lvl][i];
-        if (child.idle() && child.all_closed() && !outputs[lvl][i])
-          levels_[lvl + 1][i / radix_].set_port_closed(i % radix_, true);
+        if (child.idle() && child.all_closed() && !outputs[lvl][i]) {
+          levels_[lvl + 1][parent_idx_[lvl + 1][i]].set_port_closed(
+              parent_port_[lvl + 1][i], true);
+        }
       }
     }
   }
@@ -142,20 +193,6 @@ BroadcastChannel::BroadcastChannel(std::size_t latency)
 
 void BroadcastChannel::send(const Flit& flit) {
   in_flight_.push_back({flit, now_ + latency_});
-}
-
-std::optional<Flit> BroadcastChannel::step() {
-  ++now_;
-  if (head_ < in_flight_.size() &&
-      in_flight_[head_].deliver_at <= now_) {
-    const Flit f = in_flight_[head_].flit;
-    if (++head_ == in_flight_.size()) {  // drained: compact, keep capacity
-      in_flight_.clear();
-      head_ = 0;
-    }
-    return f;
-  }
-  return std::nullopt;
 }
 
 }  // namespace sparsenn

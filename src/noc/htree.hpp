@@ -51,9 +51,20 @@ class UpwardTree {
   std::size_t num_levels() const noexcept { return levels_.size(); }
 
   /// Can PE `pe` inject this cycle? (credit view of its leaf port)
-  bool can_inject(std::size_t pe) const;
+  /// Inline with precomputed parent links — the cycle loop asks for
+  /// every pending injector every cycle, and a runtime divide per
+  /// lookup costs more than the credit check itself.
+  bool can_inject(std::size_t pe) const {
+    expects(pe < num_pes_, "PE id out of range");
+    return levels_.front()[parent_idx_[0][pe]].can_accept(
+        parent_port_[0][pe]);
+  }
   /// Injects a flit from PE `pe`. Precondition: can_inject(pe).
-  void inject(std::size_t pe, const Flit& flit);
+  void inject(std::size_t pe, const Flit& flit) {
+    expects(pe < num_pes_, "PE id out of range");
+    levels_.front()[parent_idx_[0][pe]].push(parent_port_[0][pe], flit);
+    ++buffered_total_;
+  }
 
   /// Declares that PE `pe` will send nothing more this phase (used by
   /// the ACC reduction to terminate cleanly).
@@ -67,6 +78,30 @@ class UpwardTree {
   /// total is re-derived from the routers' maintained counts inside
   /// step()'s existing commit pass.
   bool idle() const noexcept { return buffered_total_ == 0; }
+
+  /// True when the last step() moved at least one flit (any router
+  /// granted an output). Cheap gate for the macro-stepping windows:
+  /// a tree that just moved something is almost never static.
+  bool last_step_transferred() const noexcept {
+    return last_step_transferred_;
+  }
+
+  /// Advances `k` cycles on a fully-drained tree — bit-identical to k
+  /// step(·) calls while idle() (which only tick router clocks and
+  /// occupancy denominators). Requires idle().
+  void skip_idle(std::uint64_t k);
+
+  /// True when stepping with root_ready == false provably changes
+  /// nothing: arbitrate mode, quiet credits everywhere, and every
+  /// router holding flits has a closed parent credit window — so each
+  /// cycle repeats the same stalled decisions. (The caller guarantees
+  /// root_ready stays false for the window it skips.)
+  bool stalled_static() const;
+
+  /// Advances `k` cycles of the stalled pattern stalled_static()
+  /// verified — bit-identical to k step(false) calls in that state
+  /// (stall/conflict counters and occupancy sums advance per cycle).
+  void skip_stalled(std::uint64_t k);
 
   /// Empties every router, reopens all injectors and zeroes the phase
   /// statistics — bit-identical to constructing a fresh tree, without
@@ -85,7 +120,17 @@ class UpwardTree {
   std::vector<std::vector<Router>> levels_;
   /// Per-level output decisions, reused every cycle by step().
   std::vector<std::vector<std::optional<Flit>>> outputs_scratch_;
+  /// Precomputed upward links: parent_idx_[0][pe] is the leaf router
+  /// of PE `pe` (parent_port_[0][pe] its port); parent_idx_[lvl+1][i]
+  /// is the level-(lvl+1) router fed by router i of level lvl. Replaces
+  /// the divide/modulo pair in every per-cycle parent lookup.
+  std::vector<std::vector<std::uint32_t>> parent_idx_;
+  std::vector<std::vector<std::uint32_t>> parent_port_;
   std::size_t buffered_total_ = 0;  ///< flits sitting in any router
+  /// Whether the previous step() granted any output anywhere. Starts
+  /// (and resets) true so the first cycle of a phase always runs the
+  /// full per-cycle path.
+  bool last_step_transferred_ = true;
 };
 
 /// Root-to-PEs pipelined multicast with fixed per-level latency.
@@ -99,13 +144,30 @@ class BroadcastChannel {
 
   /// Advances one cycle; returns the flit delivered to all PEs this
   /// cycle, if any. The owner fans it out to the PE queues (it already
-  /// checked receiver backpressure before send()).
-  std::optional<Flit> step();
+  /// checked receiver backpressure before send()). Inline — one call
+  /// per simulated cycle.
+  std::optional<Flit> step() {
+    ++now_;
+    if (head_ < in_flight_.size() &&
+        in_flight_[head_].deliver_at <= now_) {
+      const Flit f = in_flight_[head_].flit;
+      if (++head_ == in_flight_.size()) {  // drained: compact
+        in_flight_.clear();
+        head_ = 0;
+      }
+      return f;
+    }
+    return std::nullopt;
+  }
 
   bool idle() const noexcept { return head_ == in_flight_.size(); }
   std::size_t in_flight() const noexcept {
     return in_flight_.size() - head_;
   }
+
+  /// Advances `k` cycles with nothing in flight — bit-identical to k
+  /// step() calls returning nothing. Requires idle().
+  void skip(std::uint64_t k) noexcept { now_ += k; }
 
   /// Drops any in-flight flits and rewinds the clock; the backing
   /// storage (grown to the busiest phase so far) is kept.

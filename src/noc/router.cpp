@@ -34,45 +34,9 @@ void Router::reset() {
   granted_row_cache_ = 0;
 }
 
-bool Router::can_accept(std::size_t port) const {
-  expects(port < inputs_.size(), "router port out of range");
-  const Port& p = inputs_[port];
-  // Credits still travelling back to the child occupy a slot from the
-  // child's point of view.
-  std::size_t in_flight = 0;
-  for (std::size_t stamp : p.pending_credits)
-    if (stamp > now_) ++in_flight;
-  return p.buffer.size() + in_flight < buffer_depth_;
-}
-
-void Router::push(std::size_t port, const Flit& flit) {
-  expects(port < inputs_.size(), "router port out of range");
-  ensures(!inputs_[port].buffer.full(),
-          "router buffer overflow (credit protocol violated)");
-  inputs_[port].buffer.push_back(flit);
-  ++buffered_;
-}
-
 void Router::set_port_closed(std::size_t port, bool closed) {
   expects(port < inputs_.size(), "router port out of range");
   inputs_[port].closed = closed;
-}
-
-std::optional<Flit> Router::arbitrate() {
-  std::optional<std::size_t> winner;
-  std::size_t candidates = 0;
-  for (std::size_t i = 0; i < inputs_.size(); ++i) {
-    if (inputs_[i].buffer.empty()) continue;
-    ++candidates;
-    if (!winner || inputs_[i].buffer.front().index <
-                       inputs_[*winner].buffer.front().index) {
-      winner = i;
-    }
-  }
-  if (!winner) return std::nullopt;
-  if (candidates > 1) ++stats_.arbitration_conflicts;
-  granted_port_ = winner;
-  return inputs_[*winner].buffer.front();
 }
 
 std::optional<Flit> Router::accumulate() {
@@ -115,27 +79,15 @@ std::optional<Flit> Router::accumulate() {
   return combined;
 }
 
-std::optional<Flit> Router::step(bool parent_ready) {
-  granted_port_.reset();
-  granted_all_ = false;
-
-  std::optional<Flit> out =
-      mode_ == RouterMode::kArbitrate ? arbitrate() : accumulate();
-  if (out && !parent_ready) {
-    ++stats_.credit_stalls;
-    granted_port_.reset();
-    granted_all_ = false;
-    return std::nullopt;
-  }
-  return out;
-}
-
-void Router::commit() {
+void Router::commit_grant() {
+  // Latency-1 credits can never block a sender (see can_accept), so
+  // the buffered-credit mode skips tracking them altogether.
+  const bool track_credits = credit_latency_ > 1;
   if (granted_port_) {
     Port& p = inputs_[*granted_port_];
     p.buffer.pop_front();
     --buffered_;
-    p.pending_credits.push_back(now_ + credit_latency_);
+    if (track_credits) p.pending_credits.push_back(now_ + credit_latency_);
     ++stats_.flits_forwarded;
     ++stats_.busy_cycles;
   } else if (granted_all_) {
@@ -144,7 +96,8 @@ void Router::commit() {
           p.buffer.front().index == granted_row_cache_) {
         p.buffer.pop_front();
         --buffered_;
-        p.pending_credits.push_back(now_ + credit_latency_);
+        if (track_credits)
+          p.pending_credits.push_back(now_ + credit_latency_);
       }
     }
     ++stats_.flits_forwarded;
@@ -152,19 +105,56 @@ void Router::commit() {
   }
   granted_port_.reset();
   granted_all_ = false;
-
-  stats_.buffer_occupancy_sum += buffered_;
-  ++stats_.cycles;
-  for (Port& p : inputs_) {
-    std::erase_if(p.pending_credits,
-                  [this](std::size_t stamp) { return stamp <= now_; });
-  }
-  ++now_;
 }
 
 bool Router::all_closed() const {
   for (const Port& p : inputs_)
     if (!p.closed) return false;
+  return true;
+}
+
+void Router::drop_expired_credits() {
+  // k commits starting at clock t erase every stamp <= t+k-1, i.e.
+  // every stamp < the advanced now_.
+  for (Port& p : inputs_) {
+    if (!p.pending_credits.empty()) {
+      std::erase_if(p.pending_credits,
+                    [this](std::size_t stamp) { return stamp < now_; });
+    }
+  }
+}
+
+void Router::skip_idle(std::uint64_t k) {
+  expects(buffered_ == 0, "skip_idle on a router holding flits");
+  // buffer_occupancy_sum += 0 per skipped cycle.
+  stats_.cycles += k;
+  now_ += k;
+  drop_expired_credits();
+}
+
+void Router::skip_stalled(std::uint64_t k) {
+  expects(mode_ == RouterMode::kArbitrate || buffered_ == 0,
+          "skip_stalled models the arbitration stall pattern only");
+  if (buffered_ > 0) {
+    // Each stalled cycle re-runs the same arbitration: a conflict is
+    // charged when more than one port has a head flit, then the grant
+    // dies on the closed parent credit window.
+    std::size_t candidates = 0;
+    for (const Port& p : inputs_)
+      if (!p.buffer.empty()) ++candidates;
+    if (candidates > 1) stats_.arbitration_conflicts += k;
+    stats_.credit_stalls += k;
+  }
+  stats_.buffer_occupancy_sum += buffered_ * k;
+  stats_.cycles += k;
+  now_ += k;
+  drop_expired_credits();
+}
+
+bool Router::credits_quiet() const noexcept {
+  for (const Port& p : inputs_)
+    for (const std::size_t stamp : p.pending_credits)
+      if (stamp > now_) return false;
   return true;
 }
 

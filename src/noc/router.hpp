@@ -23,9 +23,11 @@
 // be reset and reused across phases, layers and inferences without
 // touching the heap.
 
+#include <algorithm>
 #include <optional>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/ring_buffer.hpp"
 #include "noc/flit.hpp"
 
@@ -43,12 +45,34 @@ class Router {
   RouterMode mode() const noexcept { return mode_; }
 
   /// True when port `port` can accept a flit this cycle (credit view of
-  /// the child).
-  bool can_accept(std::size_t port) const;
+  /// the child). Inline — the cycle loop calls this for every
+  /// injection candidate and parent link every cycle.
+  bool can_accept(std::size_t port) const {
+    expects(port < inputs_.size(), "router port out of range");
+    const Port& p = inputs_[port];
+    // Credits still travelling back to the child occupy a slot from
+    // the child's point of view. A latency-1 credit (the buffered
+    // flow-control default) is stamped now+1 at commit and the clock
+    // advances before the next decision phase, so it can never satisfy
+    // stamp > now_ — those routers skip the bookkeeping entirely (see
+    // commit() and commit_grant()).
+    std::size_t in_flight = 0;
+    if (credit_latency_ > 1) {
+      for (std::size_t stamp : p.pending_credits)
+        if (stamp > now_) ++in_flight;
+    }
+    return p.buffer.size() + in_flight < buffer_depth_;
+  }
 
   /// Child pushes a flit into the port buffer. Precondition:
   /// can_accept(port).
-  void push(std::size_t port, const Flit& flit);
+  void push(std::size_t port, const Flit& flit) {
+    expects(port < inputs_.size(), "router port out of range");
+    ensures(!inputs_[port].buffer.full(),
+            "router buffer overflow (credit protocol violated)");
+    inputs_[port].buffer.push_back(flit);
+    ++buffered_;
+  }
 
   /// Marks a port as permanently drained for this phase (its child will
   /// send nothing more); lets kAccumulate finish on ragged inputs.
@@ -58,10 +82,38 @@ class Router {
   /// `parent_ready` is the credit view toward the parent. Returns the
   /// flit that leaves this cycle, if any. Call commit() after every
   /// component computed its transfer.
-  std::optional<Flit> step(bool parent_ready);
+  std::optional<Flit> step(bool parent_ready) {
+    granted_port_.reset();
+    granted_all_ = false;
+
+    std::optional<Flit> out =
+        mode_ == RouterMode::kArbitrate ? arbitrate() : accumulate();
+    if (out && !parent_ready) {
+      ++stats_.credit_stalls;
+      granted_port_.reset();
+      granted_all_ = false;
+      return std::nullopt;
+    }
+    return out;
+  }
 
   /// Finalises the cycle: retires the granted flit, returns credits.
-  void commit();
+  void commit() {
+    if (granted_port_ || granted_all_) commit_grant();
+
+    stats_.buffer_occupancy_sum += buffered_;
+    ++stats_.cycles;
+    if (credit_latency_ > 1) {
+      for (Port& p : inputs_) {
+        if (!p.pending_credits.empty()) {
+          std::erase_if(p.pending_credits, [this](std::size_t stamp) {
+            return stamp <= now_;
+          });
+        }
+      }
+    }
+    ++now_;
+  }
 
   /// True when all buffers are empty and nothing is in flight. O(1):
   /// the buffered-flit count is maintained incrementally.
@@ -72,6 +124,26 @@ class Router {
 
   /// True when every input port has been closed (phase drained).
   bool all_closed() const;
+
+  /// Advances `k` cycles in which this router provably does nothing:
+  /// requires idle(). Bit-identical to k step(·)+commit() pairs on an
+  /// empty router — the cycle counter and (zero-delta) occupancy stats
+  /// advance, and in-flight credits expire exactly as they would have.
+  void skip_idle(std::uint64_t k);
+
+  /// Advances `k` cycles of a fully-stalled arbitration pattern: the
+  /// router's head flits cannot move (parent credit closed the whole
+  /// time), so each skipped cycle repeats the same decision.
+  /// Bit-identical to k step(false)+commit() pairs: conflict and
+  /// credit-stall counters advance per cycle, occupancy accumulates
+  /// the frozen buffer population. Requires kArbitrate mode (or an
+  /// empty router) and quiet credits.
+  void skip_stalled(std::uint64_t k);
+
+  /// True when no credit is still travelling back to a child (a credit
+  /// in flight could reopen a port mid-window, so macro-stepping
+  /// requires quiet credits).
+  bool credits_quiet() const noexcept;
 
   /// Returns the router to its just-constructed state (empty buffers,
   /// open ports, zeroed stats and cycle counter) without releasing any
@@ -89,8 +161,33 @@ class Router {
     std::vector<std::size_t> pending_credits;  ///< release cycle stamps
   };
 
-  std::optional<Flit> arbitrate();
+  /// Arbitration decision — inline, it runs per router per cycle.
+  std::optional<Flit> arbitrate() {
+    std::optional<std::size_t> winner;
+    std::size_t candidates = 0;
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+      if (inputs_[i].buffer.empty()) continue;
+      ++candidates;
+      if (!winner || inputs_[i].buffer.front().index <
+                         inputs_[*winner].buffer.front().index) {
+        winner = i;
+      }
+    }
+    if (!winner) return std::nullopt;
+    if (candidates > 1) ++stats_.arbitration_conflicts;
+    granted_port_ = winner;
+    return inputs_[*winner].buffer.front();
+  }
+
   std::optional<Flit> accumulate();
+
+  /// Slow half of commit(): retires the granted flit and issues the
+  /// return credit.
+  void commit_grant();
+
+  /// Erases credits that would have expired during cycles now passed
+  /// (a commit at clock t erases stamps <= t before advancing).
+  void drop_expired_credits();
 
   std::vector<Port> inputs_;
   std::size_t buffer_depth_;

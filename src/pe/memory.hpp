@@ -68,6 +68,16 @@ class SramBank {
     return row_stride_ == 0 ? 0 : words_.size() / row_stride_;
   }
 
+  /// Raw view of the bound words plus the row stride, for the kernel
+  /// layer's bulk MAC loops (common/kernels.hpp). No read charge —
+  /// callers account the whole burst with note_reads().
+  std::span<const std::int16_t> words() const noexcept { return words_; }
+  std::size_t row_stride() const noexcept { return row_stride_; }
+
+  /// Bulk read charge for a kernel that touched `n` words — keeps the
+  /// access counter identical to n single-word read() calls.
+  void note_reads(std::uint64_t n) noexcept { reads_ += n; }
+
   std::uint64_t reads() const noexcept { return reads_; }
   void reset_counters() noexcept { reads_ = 0; }
 

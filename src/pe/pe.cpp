@@ -26,6 +26,7 @@ void ProcessingElement::load_layer(const PeLayerSlice& slice) {
           "layer input exceeds activation register capacity");
   expects(slice.layer_output_dim <= params_.max_activations(),
           "layer output exceeds activation register capacity");
+  kern_ = &kernels();  // re-resolve once per layer (picks up overrides)
   slice_ = slice;
   w_mem_.load_rows(slice.w_words,
                    std::max<std::size_t>(1, slice.layer_input_dim));
@@ -50,6 +51,7 @@ void ProcessingElement::load_layer(const PeLayerSlice& slice) {
   const std::size_t slots =
       (slice.layer_input_dim + num_pes_ - 1) / num_pes_;
   scan_buffer_.reserve(slots);
+  scan_idx_buffer_.reserve(std::max<std::size_t>(1, slots));
   v_inputs_.reserve(slots);
   w_injections_.reserve(slots);
   v_partials_.reserve(slice.rank);
@@ -72,20 +74,30 @@ void ProcessingElement::load_input(
 
 void ProcessingElement::swap_regfiles() { regfiles_.swap(); }
 
-void ProcessingElement::scan_source_nonzeros_into(
-    std::vector<Flit>& out) const {
+void ProcessingElement::scan_source_nonzeros_into(std::vector<Flit>& out) {
   out.clear();
   const auto raw = regfiles_.source().raw();
+  // Slots to scan: bounded by the layer's interleave share, the file
+  // size, and the first slot whose global index leaves the layer
+  // (global = slot·P + id is monotone in slot).
   const std::size_t slots =
       (slice_.layer_input_dim + num_pes_ - 1) / num_pes_;
-  for (std::size_t slot = 0; slot < std::min(slots, raw.size()); ++slot) {
-    if (global_index_of_slot(slot) >= slice_.layer_input_dim) break;
-    if (raw[slot] != 0) {
-      out.push_back(Flit{
-          .index = static_cast<std::uint32_t>(global_index_of_slot(slot)),
-          .payload = raw[slot],
-          .source = static_cast<std::uint16_t>(id_)});
-    }
+  std::size_t n = std::min(slots, raw.size());
+  if (id_ >= slice_.layer_input_dim) {
+    n = 0;
+  } else {
+    n = std::min(n, (slice_.layer_input_dim - id_ + num_pes_ - 1) /
+                        num_pes_);
+  }
+  scan_idx_buffer_.resize(n);
+  const std::size_t count =
+      kern_->nonzero_scan_i16(raw.data(), n, scan_idx_buffer_.data());
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t slot = scan_idx_buffer_[i];
+    out.push_back(Flit{
+        .index = static_cast<std::uint32_t>(global_index_of_slot(slot)),
+        .payload = raw[slot],
+        .source = static_cast<std::uint16_t>(id_)});
   }
 }
 
@@ -108,31 +120,29 @@ void ProcessingElement::start_v_phase() {
   events_.lnzd_scans += v_inputs_.size();
 }
 
-bool ProcessingElement::v_compute_done() const noexcept {
-  return v_input_cursor_ >= v_inputs_.size();
-}
-
-void ProcessingElement::step_v_compute() {
-  if (v_compute_done()) return;
-  const Flit& in = v_inputs_[v_input_cursor_];
-  const std::size_t slot =
-      static_cast<std::size_t>(in.index) / num_pes_;
-  // One MAC: v[slot][k] * a, into partial k.
-  const std::int16_t w = v_mem_.read_row_word(slot, v_rank_cursor_);
-  v_partials_[v_rank_cursor_] +=
-      std::int64_t{w} * std::int64_t{in.payload};
-  ++events_.v_mem_reads;
-  ++events_.macs;
-  ++events_.pe_active_cycles;
-  if (++v_rank_cursor_ >= slice_.rank) {
-    v_rank_cursor_ = 0;
-    ++v_input_cursor_;
-    ++events_.act_reg_reads;
+void ProcessingElement::burst_v_compute(std::size_t k) {
+  // Bulk event charge first: every burst cycle is one MAC, one V-mem
+  // read and one active cycle, exactly like k step_v_compute() calls.
+  events_.v_mem_reads += k;
+  events_.macs += k;
+  events_.pe_active_cycles += k;
+  v_mem_.note_reads(k);
+  while (k > 0) {
+    const Flit& in = v_inputs_[v_input_cursor_];
+    const std::size_t slot = static_cast<std::size_t>(in.index) / num_pes_;
+    const std::size_t take = std::min(slice_.rank - v_rank_cursor_, k);
+    const auto row = v_mem_.row(slot);
+    kern_->axpy_i16_i64(v_partials_.data() + v_rank_cursor_,
+                        row.data() + v_rank_cursor_,
+                        static_cast<std::int16_t>(in.payload), take);
+    v_rank_cursor_ += take;
+    k -= take;
+    if (v_rank_cursor_ >= slice_.rank) {
+      v_rank_cursor_ = 0;
+      ++v_input_cursor_;
+      ++events_.act_reg_reads;
+    }
   }
-}
-
-bool ProcessingElement::has_partial_ready() const noexcept {
-  return v_compute_done() && v_inject_cursor_ < v_partials_.size();
 }
 
 Flit ProcessingElement::peek_partial() const {
@@ -148,10 +158,6 @@ void ProcessingElement::pop_partial() {
   ++events_.pe_active_cycles;
 }
 
-bool ProcessingElement::all_partials_sent() const noexcept {
-  return v_compute_done() && v_inject_cursor_ >= v_partials_.size();
-}
-
 void ProcessingElement::receive_v_result(std::uint32_t row,
                                          std::int16_t value) {
   expects(row < v_results_.size(), "V result row out of range");
@@ -165,20 +171,25 @@ void ProcessingElement::receive_v_result(std::uint32_t row,
 std::size_t ProcessingElement::run_u_phase() {
   ensures(slice_.has_predictor, "U phase requires a predictor slice");
   const std::size_t rows = slice_.global_rows.size();
-  for (std::size_t r = 0; r < rows; ++r) {
-    std::int64_t acc = 0;
-    for (std::size_t k = 0; k < slice_.rank; ++k) {
-      acc += std::int64_t{u_mem_.read_row_word(r, k)} *
-             std::int64_t{v_results_[k]};
-      ++events_.u_mem_reads;
-      ++events_.macs;
-    }
-    predictor_bits_[r] = acc > slice_.predictor_threshold_raw ? 1 : 0;
-    ++events_.predictor_bits;
+  // Row MACs + predictor-bit pack in one kernel sweep over the U bank
+  // (rows × rank words, row stride = rank), with the event counters
+  // charged in bulk — identical to the per-word loop.
+  if (rows > 0 && slice_.rank > 0) {
+    kern_->predict_bits_i16(u_mem_.words().data(), rows, slice_.rank,
+                            v_results_.data(),
+                            slice_.predictor_threshold_raw,
+                            predictor_bits_.data());
+  } else {
+    for (std::size_t r = 0; r < rows; ++r)
+      predictor_bits_[r] = 0 > slice_.predictor_threshold_raw ? 1 : 0;
   }
-  const std::size_t cycles = rows * slice_.rank;
-  events_.pe_active_cycles += cycles;
-  return cycles;
+  const std::size_t macs = rows * slice_.rank;
+  u_mem_.note_reads(macs);
+  events_.u_mem_reads += macs;
+  events_.macs += macs;
+  events_.predictor_bits += rows;
+  events_.pe_active_cycles += macs;
+  return macs;
 }
 
 void ProcessingElement::force_all_rows_active() {
@@ -191,17 +202,14 @@ void ProcessingElement::start_w_phase() {
   w_accumulators_.assign(slice_.global_rows.size(), 0);
   active_local_rows_.clear();
   for (std::size_t r = 0; r < predictor_bits_.size(); ++r) {
-    if (predictor_bits_[r]) active_local_rows_.push_back(r);
+    if (predictor_bits_[r])
+      active_local_rows_.push_back(static_cast<std::uint32_t>(r));
     ++events_.predictor_bits;  // LNZD reads the bank once per row
   }
   scan_source_nonzeros_into(w_injections_);
   w_inject_cursor_ = 0;
   w_busy_cycles_ = 0;
   events_.lnzd_scans += w_injections_.size();
-}
-
-bool ProcessingElement::has_injection() const noexcept {
-  return w_inject_cursor_ < w_injections_.size();
 }
 
 const Flit& ProcessingElement::peek_injection() const {
@@ -215,47 +223,20 @@ void ProcessingElement::pop_injection() {
   ++events_.act_reg_reads;
 }
 
-bool ProcessingElement::injections_done() const noexcept {
-  return w_inject_cursor_ >= w_injections_.size();
-}
-
-void ProcessingElement::enqueue_activation(const Flit& flit) {
-  queue_.push(flit);
-  ++events_.queue_ops;
-}
-
-bool ProcessingElement::step_w_consume() {
-  if (w_busy_cycles_ > 0) {
-    --w_busy_cycles_;
-    ++events_.pe_active_cycles;
-    return true;
+void ProcessingElement::burst_w_consume(std::uint64_t k) {
+  while (k > 0) {
+    if (w_busy_cycles_ > 0) {
+      const std::uint64_t spent =
+          std::min<std::uint64_t>(w_busy_cycles_, k);
+      w_busy_cycles_ -= spent;
+      events_.pe_active_cycles += spent;
+      k -= spent;
+      continue;
+    }
+    if (queue_.empty()) return;  // idle for the rest of the burst
+    consume_front();
+    --k;
   }
-  if (queue_.empty()) return false;
-
-  const Flit act = queue_.front();
-  queue_.pop();
-  ++events_.queue_ops;
-  expects(act.index < slice_.layer_input_dim,
-          "activation index out of layer range");
-
-  // Multiply with every predicted-active mapped row; the LNZD walks the
-  // predictor bank one active row per cycle, so the datapath is busy
-  // max(1, active_rows) cycles for this activation.
-  for (const std::size_t r : active_local_rows_) {
-    const std::int16_t w = w_mem_.read_row_word(r, act.index);
-    w_accumulators_[r] +=
-        std::int64_t{w} * std::int64_t{act.payload};
-    ++events_.w_mem_reads;
-    ++events_.macs;
-  }
-  w_busy_cycles_ =
-      active_local_rows_.empty() ? 0 : active_local_rows_.size() - 1;
-  ++events_.pe_active_cycles;
-  return true;
-}
-
-bool ProcessingElement::w_done() const noexcept {
-  return injections_done() && queue_.empty() && w_busy_cycles_ == 0;
 }
 
 std::span<const std::pair<std::uint32_t, std::int16_t>>

@@ -37,6 +37,7 @@
 
 #include "arch/energy.hpp"
 #include "arch/params.hpp"
+#include "common/kernels.hpp"
 #include "noc/flit.hpp"
 #include "pe/act_queue.hpp"
 #include "pe/memory.hpp"
@@ -94,14 +95,52 @@ class ProcessingElement {
 
   // ---- V phase ----
   void start_v_phase();
-  bool v_compute_done() const noexcept;
-  /// One cycle of local V MACs; no-op when compute is done.
-  void step_v_compute();
+  bool v_compute_done() const noexcept {
+    return v_input_cursor_ >= v_inputs_.size();
+  }
+  /// One cycle of local V MACs; no-op when compute is done. Inline —
+  /// called for every PE every V-phase cycle.
+  void step_v_compute() {
+    if (v_compute_done()) return;
+    const Flit& in = v_inputs_[v_input_cursor_];
+    const std::size_t slot =
+        static_cast<std::size_t>(in.index) / num_pes_;
+    // One MAC: v[slot][k] * a, into partial k.
+    const std::int16_t w = v_mem_.read_row_word(slot, v_rank_cursor_);
+    v_partials_[v_rank_cursor_] +=
+        std::int64_t{w} * std::int64_t{in.payload};
+    ++events_.v_mem_reads;
+    ++events_.macs;
+    ++events_.pe_active_cycles;
+    if (++v_rank_cursor_ >= slice_.rank) {
+      v_rank_cursor_ = 0;
+      ++v_input_cursor_;
+      ++events_.act_reg_reads;
+    }
+  }
+  /// Local V MAC cycles left before this PE's compute is done (its
+  /// share of the deterministic MAC burst the macro-stepped cycle
+  /// engine can prove ahead of time).
+  std::size_t v_burst_cycles() const noexcept {
+    return slice_.rank == 0
+               ? 0
+               : (v_inputs_.size() - v_input_cursor_) * slice_.rank -
+                     v_rank_cursor_;
+  }
+  /// Executes exactly `k` step_v_compute() cycles in one shot through
+  /// the vectorised column-MAC kernel — cursors, partial sums and
+  /// every event counter end bit-identical to k single steps.
+  /// Precondition: k <= v_burst_cycles().
+  void burst_v_compute(std::size_t k);
   /// Partial-sum injection (after local compute): one flit per row.
-  bool has_partial_ready() const noexcept;
+  bool has_partial_ready() const noexcept {
+    return v_compute_done() && v_inject_cursor_ < v_partials_.size();
+  }
   Flit peek_partial() const;
   void pop_partial();
-  bool all_partials_sent() const noexcept;
+  bool all_partials_sent() const noexcept {
+    return v_compute_done() && v_inject_cursor_ >= v_partials_.size();
+  }
   /// Broadcast V result arriving from the root (already rescaled).
   void receive_v_result(std::uint32_t row, std::int16_t value);
   std::size_t v_results_received() const noexcept {
@@ -123,17 +162,55 @@ class ProcessingElement {
 
   // ---- W phase ----
   void start_w_phase();
-  bool has_injection() const noexcept;
+  bool has_injection() const noexcept {
+    return w_inject_cursor_ < w_injections_.size();
+  }
   const Flit& peek_injection() const;
   void pop_injection();
-  bool injections_done() const noexcept;
+  bool injections_done() const noexcept {
+    return w_inject_cursor_ >= w_injections_.size();
+  }
   std::size_t queue_free_slots() const noexcept {
     return queue_.free_slots();
   }
-  void enqueue_activation(const Flit& flit);
-  /// One consumption cycle; returns true if the PE did work.
-  bool step_w_consume();
-  bool w_done() const noexcept;
+  void enqueue_activation(const Flit& flit) {
+    queue_.push(flit);
+    ++events_.queue_ops;
+  }
+  /// One consumption cycle; returns true if the PE did work. Inlined
+  /// fast paths (busy countdown / idle) — the cycle loop calls this
+  /// once per PE per cycle.
+  bool step_w_consume() {
+    if (w_busy_cycles_ > 0) {
+      --w_busy_cycles_;
+      ++events_.pe_active_cycles;
+      return true;
+    }
+    if (queue_.empty()) return false;
+    consume_front();
+    return true;
+  }
+  bool w_done() const noexcept {
+    return injections_done() && queue_.empty() && w_busy_cycles_ == 0;
+  }
+  /// Consumption cycles left if no further activation is delivered:
+  /// the pending busy countdown plus the queued activations at their
+  /// fixed per-activation datapath cost. Drives the macro-stepped
+  /// drain of the W phase tail.
+  std::uint64_t w_pending_cycles() const noexcept {
+    const std::uint64_t per_flit =
+        std::max<std::size_t>(std::size_t{1}, active_local_rows_.size());
+    return w_busy_cycles_ + queue_.size() * per_flit;
+  }
+  /// Cycles until this PE's next queue pop (freeing one slot), counting
+  /// the pop cycle itself. Precondition: the queue is non-empty.
+  std::uint64_t w_cycles_until_pop() const noexcept {
+    return w_busy_cycles_ + 1;
+  }
+  /// Executes exactly `k` step_w_consume() cycles in one shot (idle
+  /// cycles at the tail are free, exactly like k single steps that
+  /// return false).
+  void burst_w_consume(std::uint64_t k);
 
   /// Rescales accumulators and writes the destination register file;
   /// returns (global index, value) pairs of the produced activations.
@@ -155,11 +232,52 @@ class ProcessingElement {
   }
 
   /// LNZD scan into a reusable buffer (clears, then fills).
-  void scan_source_nonzeros_into(std::vector<Flit>& out) const;
+  void scan_source_nonzeros_into(std::vector<Flit>& out);
+
+  /// Slow path of step_w_consume(): pops the queue head and runs the
+  /// LNZD-masked column MACs. At paper scale a PE maps only a handful
+  /// of rows, so the common case is a direct scalar loop (identical
+  /// arithmetic); wide slices route through the kernel layer.
+  void consume_front() {
+    const Flit act = queue_.front();
+    queue_.pop();
+    ++events_.queue_ops;
+    expects(act.index < slice_.layer_input_dim,
+            "activation index out of layer range");
+
+    // Multiply with every predicted-active mapped row; the LNZD walks
+    // the predictor bank one active row per cycle, so the datapath is
+    // busy max(1, active_rows) cycles for this activation.
+    const std::size_t n_active = active_local_rows_.size();
+    if (n_active > 0) {
+      const std::int16_t a = static_cast<std::int16_t>(act.payload);
+      const auto words = w_mem_.words();
+      const std::size_t stride = w_mem_.row_stride();
+      if (n_active <= 8) {
+        for (const std::uint32_t r : active_local_rows_) {
+          w_accumulators_[r] +=
+              std::int64_t{words[r * stride + act.index]} *
+              std::int64_t{a};
+        }
+      } else {
+        kern_->mac_col_i16(w_accumulators_.data(), words.data(), stride,
+                           words.size(), active_local_rows_.data(),
+                           n_active, act.index, a);
+      }
+      w_mem_.note_reads(n_active);
+      events_.w_mem_reads += n_active;
+      events_.macs += n_active;
+    }
+    w_busy_cycles_ = n_active == 0 ? 0 : n_active - 1;
+    ++events_.pe_active_cycles;
+  }
 
   std::size_t id_;
   std::size_t num_pes_;
   ArchParams params_;
+  /// Kernel table bound at load_layer() (common/kernels.hpp): one
+  /// dispatch resolution per layer instead of one per MAC burst.
+  const KernelTable* kern_ = &kernels();
 
   PingPongRegFiles regfiles_;
   ActQueue queue_;
@@ -181,13 +299,14 @@ class ProcessingElement {
 
   // W phase state
   std::vector<std::int64_t> w_accumulators_;  ///< per mapped row
-  std::vector<std::size_t> active_local_rows_;
+  std::vector<std::uint32_t> active_local_rows_;
   std::vector<Flit> w_injections_;
   std::size_t w_inject_cursor_ = 0;
   std::size_t w_busy_cycles_ = 0;
 
   // Reusable output buffers (capacity persists across layers).
   std::vector<Flit> scan_buffer_;
+  std::vector<std::uint32_t> scan_idx_buffer_;  ///< kernel scan output
   std::vector<std::pair<std::uint32_t, std::int16_t>> write_back_buffer_;
 
   EventCounts events_;

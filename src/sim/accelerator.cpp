@@ -179,6 +179,23 @@ std::uint64_t AcceleratorSim::simulate_v_phase(const QuantizedLayer& layer,
   // ends when `rank` results have been delivered.
   std::size_t results_delivered = 0;
 
+  // Macro window: until the earliest PE finishes its local column
+  // MACs, every cycle is pure compute — no partial is ready, so the
+  // tree and broadcast provably idle through all of them. Run the
+  // whole burst through the vectorised column kernel in one shot.
+  if (macro_stepping_ && rank > 0) {
+    std::size_t burst = SIZE_MAX;
+    for (const auto& pe : pes_)
+      burst = std::min(burst, pe.v_burst_cycles());
+    if (burst > 1) {
+      for (auto& pe : pes_) pe.burst_v_compute(burst);
+      tree.skip_idle(burst);
+      broadcast.skip(burst);
+      cycles += burst;
+      ensures(cycles < kCycleLimit, "V-phase deadlock");
+    }
+  }
+
   while (results_delivered < rank) {
     ensures(++cycles < kCycleLimit, "V-phase deadlock");
 
@@ -238,22 +255,85 @@ std::uint64_t AcceleratorSim::simulate_w_phase(LayerSimResult& result) {
   // consume pass (not an extra all-PEs scan), and the tree/broadcast
   // checks read maintained counters, so the loop condition is O(1).
   bool pes_done = true;
-  for (const auto& pe : pes_) pes_done = pes_done && pe.w_done();
+  bool all_injected = true;
+  std::size_t min_free = SIZE_MAX;
+  for (const auto& pe : pes_) {
+    pes_done = pes_done && pe.w_done();
+    all_injected = all_injected && pe.injections_done();
+    min_free = std::min(min_free, pe.queue_free_slots());
+  }
 
   while (!(pes_done && tree.idle() && broadcast.idle())) {
+    // Macro window 1 — the drain tail: every activation is injected
+    // and the NoC is fully empty, so the rest of the phase is each PE
+    // independently grinding down its queue at a fixed per-activation
+    // cost. Jump to the end in one shot.
+    if (macro_stepping_ && all_injected && broadcast.idle() &&
+        tree.idle()) {
+      std::uint64_t burst = 0;
+      for (const auto& pe : pes_)
+        burst = std::max(burst, pe.w_pending_cycles());
+      for (auto& pe : pes_) pe.burst_w_consume(burst);
+      tree.skip_idle(burst);
+      broadcast.skip(burst);
+      cycles += burst;
+      ensures(cycles < kCycleLimit, "W-phase deadlock");
+      pes_done = true;
+      continue;  // loop condition is now false
+    }
+
+    // Macro window 2 — the stalled NoC: nothing is in flight, some PE
+    // queue is full (so the root stays back-pressured), every pending
+    // injection is credit-blocked and the tree cannot move a flit
+    // internally. Until the first full queue pops, each cycle only
+    // repeats the same stalled decisions while PEs count down their
+    // MAC bursts — advance all of it at once. stalled_static() proves
+    // the tree part; the PE scan proves the rest.
+    if (macro_stepping_ && broadcast.idle() && !tree.idle() &&
+        !tree.last_step_transferred()) {
+      std::uint64_t burst = UINT64_MAX;
+      bool any_full = false;
+      bool blocked = true;
+      for (std::size_t i = 0; i < pes_.size() && blocked; ++i) {
+        const ProcessingElement& pe = pes_[i];
+        if (pe.has_injection() && tree.can_inject(i)) blocked = false;
+        if (pe.queue_free_slots() == 0) {
+          any_full = true;
+          burst = std::min(burst, pe.w_cycles_until_pop());
+        }
+      }
+      if (blocked && any_full && burst > 1 && tree.stalled_static()) {
+        for (auto& pe : pes_) pe.burst_w_consume(burst);
+        tree.skip_stalled(burst);
+        broadcast.skip(burst);
+        cycles += burst;
+        ensures(cycles < kCycleLimit, "W-phase deadlock");
+        pes_done = true;
+        min_free = SIZE_MAX;
+        for (const auto& pe : pes_) {
+          pes_done = pes_done && pe.w_done();
+          min_free = std::min(min_free, pe.queue_free_slots());
+        }
+        continue;
+      }
+    }
+
     ensures(++cycles < kCycleLimit, "W-phase deadlock");
 
-    // Injection pass, folded together with the queue-credit scan: the
-    // queues are untouched by injections, so the minimum computed here
-    // equals the seed engine's separate pass.
-    std::size_t min_free = SIZE_MAX;
-    for (std::size_t i = 0; i < pes_.size(); ++i) {
-      ProcessingElement& pe = pes_[i];
-      if (pe.has_injection() && tree.can_inject(i)) {
-        tree.inject(i, pe.peek_injection());
-        pe.pop_injection();
+    // Injection pass. Queues are untouched by injections, so the
+    // begin-of-cycle credit minimum (min_free, carried over from the
+    // previous iteration's consume pass) equals the seed engine's
+    // separate scan.
+    if (!all_injected) {
+      all_injected = true;
+      for (std::size_t i = 0; i < pes_.size(); ++i) {
+        ProcessingElement& pe = pes_[i];
+        if (pe.has_injection() && tree.can_inject(i)) {
+          tree.inject(i, pe.peek_injection());
+          pe.pop_injection();
+        }
+        all_injected = all_injected && pe.injections_done();
       }
-      min_free = std::min(min_free, pe.queue_free_slots());
     }
 
     // Root issues only when every PE can absorb what is in flight plus
@@ -262,15 +342,21 @@ std::uint64_t AcceleratorSim::simulate_w_phase(LayerSimResult& result) {
 
     if (const auto out = tree.step(root_ready)) broadcast.send(*out);
 
-    if (const auto delivered = broadcast.step()) {
+    const auto delivered = broadcast.step();
+    if (delivered) {
       for (auto& pe : pes_) pe.enqueue_activation(*delivered);
       ++delivered_count;
     }
 
+    // Consume pass, folded with the end-of-cycle queue-credit scan —
+    // queue state is final here, so the minimum feeds the next
+    // iteration's root_ready exactly like a begin-of-cycle scan would.
     pes_done = true;
+    min_free = SIZE_MAX;
     for (auto& pe : pes_) {
       pe.step_w_consume();
       pes_done = pes_done && pe.w_done();
+      min_free = std::min(min_free, pe.queue_free_slots());
     }
   }
 

@@ -97,6 +97,20 @@ class AcceleratorSim final : public ExecutionEngine {
   /// records. Pass nullptr to detach. The log must outlive the sim.
   void set_trace(TraceLog* trace) noexcept override { trace_ = trace; }
 
+  /// Macro-stepped cycle advancement (default on): whenever the
+  /// per-cycle loop can prove the next state change is k cycles away —
+  /// all PEs in a deterministic MAC burst with the tree and broadcast
+  /// idle, the pure PE drain after the last W-phase delivery, or a
+  /// fully-stalled NoC waiting on queue credits — it advances
+  /// counters by k in one shot. Results, cycle counts, event counters
+  /// and NoC statistics are bit-identical either way
+  /// (tests/compiled_engine_test pins this); the knob exists so tests
+  /// and benches can cross-check macro against pure per-cycle runs.
+  void set_macro_stepping(bool enabled) noexcept {
+    macro_stepping_ = enabled;
+  }
+  bool macro_stepping() const noexcept { return macro_stepping_; }
+
  private:
   /// Shared implementation of every entry point: quantises the input
   /// into `input_scratch`, simulates every layer into `out` (reusing
@@ -125,6 +139,7 @@ class AcceleratorSim final : public ExecutionEngine {
   BroadcastChannel broadcast_;
   std::vector<bool> v_closed_;  ///< per-PE injector-closed scratch
 
+  bool macro_stepping_ = true;
   TraceLog* trace_ = nullptr;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/kernels.hpp"
 #include "sim/result_arena.hpp"
 #include "sim/trace.hpp"
 
@@ -75,16 +76,21 @@ void AnalyticEngine::run_layer_into(const CompiledNetwork& compiled,
   // slots) and its per-PE interleave (activation c lives on PE
   // c mod P — the row/column schedule of Section V.A), which gates
   // the slowest-PE terms below.
-  pe_nnz_.assign(num_pes, 0);
-  nz_idx_.clear();
   // Worst case every activation is nonzero: after the first inference
   // the capacity covers the widest layer, so steady state never
   // reallocates (the bench reports the analytic allocs/inference).
-  nz_idx_.reserve(act.size());
-  for (std::size_t c = 0; c < act.size(); ++c) {
-    if (act[c] == 0) continue;
-    nz_idx_.push_back(static_cast<std::uint32_t>(c));
-    ++pe_nnz_[c % num_pes];
+  nz_idx_.resize(act.size());
+  nz_idx_.resize(kernels().nonzero_scan_i16(act.data(), act.size(),
+                                            nz_idx_.data()));
+  pe_nnz_.assign(num_pes, 0);
+  // num_pes is radix^levels — a power of two at any valid config with
+  // radix 2/4/8 — so the interleave is a mask; keep the division for
+  // exotic radices.
+  if ((num_pes & (num_pes - 1)) == 0) {
+    const std::size_t pe_mask = num_pes - 1;
+    for (const std::uint32_t c : nz_idx_) ++pe_nnz_[c & pe_mask];
+  } else {
+    for (const std::uint32_t c : nz_idx_) ++pe_nnz_[c % num_pes];
   }
   const std::size_t nnz_in = nz_idx_.size();
   result.nnz_inputs = nnz_in;
@@ -107,9 +113,10 @@ void AnalyticEngine::run_layer_into(const CompiledNetwork& compiled,
   // r mod P) — gates the W-phase consume bound.
   pe_active_.assign(num_pes, 0);
   std::size_t active_rows = 0;
-  for (std::size_t r = 0; r < m; ++r) {
+  for (std::size_t r = 0, pe = 0; r < m; ++r) {
     active_rows += mask_scratch_[r];
-    pe_active_[r % num_pes] += mask_scratch_[r];
+    pe_active_[pe] += mask_scratch_[r];
+    if (++pe == num_pes) pe = 0;  // r mod num_pes without the divide
   }
   result.active_rows = active_rows;
   const std::size_t max_active =

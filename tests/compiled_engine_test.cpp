@@ -97,6 +97,43 @@ TEST_P(CompiledEngineExactness, BitIdenticalToFreshPerInferenceRuns) {
 INSTANTIATE_TEST_SUITE_P(UvModes, CompiledEngineExactness,
                          ::testing::Values(true, false));
 
+/// Macro-stepped cycle advancement vs pure per-cycle ticking: every
+/// SimResult field — cycle counts, event counters, NoC statistics
+/// (conflicts, credit stalls, occupancy sums), activations — must be
+/// bit-identical. Runs both uv modes and several queue depths so the
+/// deterministic-burst, drain-tail and stalled-NoC windows all fire
+/// with different frequencies.
+class MacroStepping : public ::testing::TestWithParam<bool> {};
+
+TEST_P(MacroStepping, BitIdenticalToPerCycleEngine) {
+  const bool uv_on = GetParam();
+  const Fixture f = make_batch_fixture(8, /*seed=*/57);
+  for (const std::size_t queue_depth : {2u, 8u, 32u}) {
+    ArchParams arch = tiny_arch();
+    arch.act_queue_depth = queue_depth;
+    const CompiledNetwork compiled(f.network, arch, uv_on);
+
+    AcceleratorSim macro(arch);
+    macro.set_macro_stepping(true);
+    AcceleratorSim per_cycle(arch);
+    per_cycle.set_macro_stepping(false);
+    ASSERT_TRUE(macro.macro_stepping());
+    ASSERT_FALSE(per_cycle.macro_stepping());
+
+    for (std::size_t i = 0; i < f.data.size(); ++i) {
+      const SimResult expected =
+          per_cycle.run(compiled, f.data.image(i), ValidationMode::kOff);
+      const SimResult got =
+          macro.run(compiled, f.data.image(i), ValidationMode::kOff);
+      EXPECT_EQ(got, expected)
+          << "input " << i << " uv " << uv_on << " depth " << queue_depth;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(UvModes, MacroStepping,
+                         ::testing::Values(true, false));
+
 /// One CompiledNetwork shared read-only across BatchRunner workers:
 /// per-input results identical to fresh per-inference runs for every
 /// thread count.

@@ -23,6 +23,7 @@
 #include "data/mnist_io.hpp"
 #include "nn/predictor.hpp"
 #include "nn/quantized.hpp"
+#include "sim/accelerator.hpp"
 #include "sim/batch_runner.hpp"
 #include "sim/engine.hpp"
 #include "sim/result_arena.hpp"
@@ -108,6 +109,35 @@ TEST(EngineEquivalence, IdxTinyMnist) {
   ASSERT_EQ(images->cols(), 784u);
   const QuantizedNetwork network = make_network(*images);
   expect_equivalent(network, *images, images->rows());
+}
+
+/// Macro-stepped vs pure per-cycle advancement at paper scale (64 PEs,
+/// 3-level NoC, 784-wide input): full SimResult equality — cycles,
+/// events, arbitration conflicts, credit stalls, occupancy sums — for
+/// both uv modes. The wide first layer keeps the NoC saturated long
+/// enough that the stalled-NoC window is exercised, not just the
+/// V-burst and drain-tail windows.
+TEST(EngineEquivalence, MacroSteppingBitIdenticalAtPaperScale) {
+  DatasetOptions options;
+  options.train_size = 16;
+  options.test_size = 4;
+  const DatasetSplit split = make_dataset(DatasetVariant::kBasic, options);
+  const QuantizedNetwork network = make_network(split.train.inputs);
+
+  const ArchParams arch = ArchParams::paper();
+  AcceleratorSim macro(arch);
+  AcceleratorSim per_cycle(arch);
+  per_cycle.set_macro_stepping(false);
+  for (const bool uv_on : {true, false}) {
+    const CompiledNetwork compiled(network, arch, uv_on);
+    for (std::size_t i = 0; i < split.test.inputs.rows(); ++i) {
+      const SimResult expected = per_cycle.run(
+          compiled, split.test.inputs.row(i), ValidationMode::kOff);
+      const SimResult got = macro.run(compiled, split.test.inputs.row(i),
+                                      ValidationMode::kOff);
+      EXPECT_EQ(got, expected) << "sample " << i << " uv " << uv_on;
+    }
+  }
 }
 
 TEST(EngineEquivalence, ArenaPathMatchesHeapPath) {
