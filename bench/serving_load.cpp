@@ -1,0 +1,420 @@
+// serving_load — load generator for the serving tier (src/serve/),
+// emitting latency/throughput/shedding numbers as JSON for the
+// performance trajectory (CI gates on the fields, like sim_throughput).
+//
+//   ./serving_load [--clients n] [--requests n] [--models m]
+//                  [--workers w] [--max-batch b] [--max-wait-us us]
+//                  [--engine cycle|analytic] [--zipf-s s]
+//                  [--open-load f] [--json-out path]
+//
+// Two phases against a fresh ServingFrontend each:
+//
+//   closed loop — `--clients` simulated clients (default 2000) each
+//     keep exactly one request outstanding: submit, await the future,
+//     resubmit. One driver thread multiplexes all clients by polling
+//     their futures, so "thousands of clients" costs thousands of
+//     future slots, not thousands of OS threads. With every client
+//     always waiting on the server, this measures SATURATION
+//     throughput and the latency distribution under full load.
+//
+//   open loop — Poisson arrivals (exponential inter-arrival gaps) at
+//     `--open-load` (default 0.25) times the measured saturation
+//     throughput, i.e. a server at ~25% utilisation. Arrivals are
+//     independent of completions — the defining open-loop property —
+//     so queueing delay is visible instead of being absorbed by
+//     client back-pressure. At this load the run must be shed-free
+//     (CI gates on it).
+//
+// Requests pick their model by a zipf(s) popularity distribution over
+// `--models` distinct registered networks (different hidden widths, so
+// the zoo really holds distinct images), matching the skewed traffic
+// a multi-model serving node actually sees.
+//
+// Latency percentiles (p50/p95/p99) are exact — computed from the
+// sorted per-request client-observed wall times, not histogram bins —
+// in microseconds. The batch-size histogram comes from the frontend's
+// own per-batch accounting.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli_args.hpp"
+#include "common/rng.hpp"
+#include "nn/network.hpp"
+#include "nn/predictor.hpp"
+#include "nn/quantized.hpp"
+#include "serve/frontend.hpp"
+
+namespace {
+
+using namespace sparsenn;
+using Clock = std::chrono::steady_clock;
+
+/// Reduced 16-PE configuration (the test-suite arch): serving-path
+/// overheads are what this bench measures, not 64-PE simulation cost.
+ArchParams bench_arch() {
+  ArchParams p;
+  p.num_pes = 16;
+  p.router_levels = 2;
+  p.w_mem_kb_per_pe = 16;
+  p.u_mem_kb_per_pe = 4;
+  p.v_mem_kb_per_pe = 4;
+  p.act_regs_per_pe = 16;
+  return p;
+}
+
+/// Small {24, h, 18, 6} network with rank-4 predictors; each model
+/// gets a different hidden width so the zoo holds distinct images.
+QuantizedNetwork make_model(std::size_t index, Rng& rng) {
+  const std::size_t hidden = 20 + 2 * index;
+  Network net{{24, hidden, 18, 6}, rng};
+  net.set_predictor(0, Predictor::random(hidden, 24, 4, rng));
+  net.set_predictor(1, Predictor::random(18, hidden, 4, rng));
+  Matrix calib(4, 24);
+  for (std::size_t i = 0; i < calib.size(); ++i)
+    calib.flat()[i] = static_cast<float>(rng.uniform(0.0, 1.0));
+  return QuantizedNetwork(net, calib);
+}
+
+/// Zipf(s) sampler over [0, n) via the precomputed CDF: popularity of
+/// rank k is proportional to 1/(k+1)^s.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n) {
+    double total = 0.0;
+    for (std::size_t k = 0; k < n; ++k)
+      cdf_[k] = total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    for (double& c : cdf_) c /= total;
+  }
+  std::size_t operator()(Rng& rng) const {
+    const double u = rng.uniform();
+    for (std::size_t k = 0; k < cdf_.size(); ++k)
+      if (u < cdf_[k]) return k;
+    return cdf_.size() - 1;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Exact percentile (linear interpolation between order statistics)
+/// over an ALREADY SORTED sample; microseconds in, microseconds out.
+double exact_percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double pos = std::clamp(p, 0.0, 100.0) / 100.0 *
+                     static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+struct PhaseReport {
+  double wall_seconds = 0.0;
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;
+  double p50_us = 0.0, p95_us = 0.0, p99_us = 0.0;
+  ServingStats stats;
+
+  double throughput() const {
+    return wall_seconds > 0.0 ? static_cast<double>(ok) / wall_seconds : 0.0;
+  }
+  double shed_rate() const {
+    const std::uint64_t total = ok + shed;
+    return total ? static_cast<double>(shed) / static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
+struct Workload {
+  std::vector<QuantizedNetwork> networks;
+  std::vector<std::size_t> handles;       ///< frontend model handles
+  std::vector<std::vector<float>> inputs; ///< shared 24-dim input pool
+  ZipfSampler zipf;
+  std::vector<std::uint64_t> per_model;   ///< requests issued per model
+};
+
+double us_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+/// One in-flight simulated client: a future plus its submit stamp.
+struct Slot {
+  std::future<ServeResult> future;
+  Clock::time_point submitted;
+  bool active = false;
+};
+
+void finish(Slot& slot, PhaseReport& report, std::vector<double>& latencies) {
+  const ServeResult r = slot.future.get();
+  if (r.status == ServeStatus::kOk) {
+    ++report.ok;
+    latencies.push_back(us_between(slot.submitted, Clock::now()));
+  } else {
+    ++report.shed;
+  }
+  slot.active = false;
+}
+
+Slot submit_one(ServingFrontend& frontend, Workload& load, Rng& rng) {
+  const std::size_t model = load.zipf(rng);
+  ++load.per_model[model];
+  const std::vector<float>& x =
+      load.inputs[rng.uniform_index(load.inputs.size())];
+  Slot slot;
+  slot.submitted = Clock::now();
+  slot.future = frontend.submit(load.handles[model], x);
+  slot.active = true;
+  return slot;
+}
+
+/// Closed loop: `clients` outstanding requests, resubmit on completion
+/// until `requests` have been issued; then drain.
+PhaseReport run_closed_loop(ServingFrontend& frontend, Workload& load,
+                            std::size_t clients, std::size_t requests,
+                            Rng& rng) {
+  PhaseReport report;
+  std::vector<double> latencies;
+  latencies.reserve(requests);
+  std::vector<Slot> slots(std::min(clients, requests));
+
+  const auto start = Clock::now();
+  std::size_t issued = 0;
+  for (Slot& slot : slots) {
+    slot = submit_one(frontend, load, rng);
+    ++issued;
+  }
+  std::size_t live = slots.size();
+  while (live > 0) {
+    bool progressed = false;
+    for (Slot& slot : slots) {
+      if (!slot.active ||
+          slot.future.wait_for(std::chrono::seconds(0)) !=
+              std::future_status::ready) {
+        continue;
+      }
+      finish(slot, report, latencies);
+      progressed = true;
+      if (issued < requests) {
+        slot = submit_one(frontend, load, rng);
+        ++issued;
+      } else {
+        --live;
+      }
+    }
+    if (!progressed) std::this_thread::yield();
+  }
+  report.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::sort(latencies.begin(), latencies.end());
+  report.p50_us = exact_percentile(latencies, 50);
+  report.p95_us = exact_percentile(latencies, 95);
+  report.p99_us = exact_percentile(latencies, 99);
+  report.stats = frontend.stats();
+  return report;
+}
+
+/// Open loop: Poisson arrivals at `rate` req/s — submit times follow
+/// the schedule regardless of completions (reaping is opportunistic).
+PhaseReport run_open_loop(ServingFrontend& frontend, Workload& load,
+                          double rate, std::size_t requests, Rng& rng) {
+  PhaseReport report;
+  std::vector<double> latencies;
+  latencies.reserve(requests);
+  std::vector<Slot> slots(requests);
+
+  const auto start = Clock::now();
+  auto next_arrival = start;
+  for (std::size_t i = 0; i < requests; ++i) {
+    // Exponential inter-arrival gap: -ln(1-u)/rate seconds.
+    const double gap = -std::log(1.0 - rng.uniform()) / rate;
+    next_arrival += std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(gap));
+    std::this_thread::sleep_until(next_arrival);
+    slots[i] = submit_one(frontend, load, rng);
+    // Opportunistic reap keeps the scan short and latency stamps tight.
+    for (std::size_t j = i < 32 ? 0 : i - 32; j < i; ++j) {
+      if (slots[j].active &&
+          slots[j].future.wait_for(std::chrono::seconds(0)) ==
+              std::future_status::ready) {
+        finish(slots[j], report, latencies);
+      }
+    }
+  }
+  for (Slot& slot : slots)
+    if (slot.active) finish(slot, report, latencies);
+  report.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::sort(latencies.begin(), latencies.end());
+  report.p50_us = exact_percentile(latencies, 50);
+  report.p95_us = exact_percentile(latencies, 95);
+  report.p99_us = exact_percentile(latencies, 99);
+  report.stats = frontend.stats();
+  return report;
+}
+
+void print_phase(std::ostream& os, const char* name, const PhaseReport& r) {
+  os << "  \"" << name << "\": {"
+     << "\"wall_seconds\": " << r.wall_seconds
+     << ", \"completed\": " << r.ok << ", \"shed\": " << r.shed
+     << ", \"throughput_inf_per_sec\": " << r.throughput()
+     << ", \"shed_rate\": " << r.shed_rate()
+     << ", \"p50_us\": " << r.p50_us << ", \"p95_us\": " << r.p95_us
+     << ", \"p99_us\": " << r.p99_us
+     << ", \"batches\": " << r.stats.batches
+     << ", \"mean_batch_size\": " << r.stats.mean_batch_size()
+     << ", \"size_closes\": " << r.stats.size_closes
+     << ", \"timeout_closes\": " << r.stats.timeout_closes
+     << ", \"batch_size_hist\": [";
+  for (std::size_t i = 0; i < r.stats.batch_size_counts.size(); ++i)
+    os << (i ? ", " : "") << r.stats.batch_size_counts[i];
+  os << "]}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv, 1);
+    const std::size_t clients = args.get_size("clients", 2000);
+    const std::size_t requests = args.get_size("requests", 6000);
+    const std::size_t num_models = std::max<std::size_t>(
+        args.get_size("models", 2), 2);  // zipf needs >= 2 ranks
+    const double zipf_s = std::atof(args.get("zipf-s", "1.0").c_str());
+    const double open_load = std::atof(args.get("open-load", "0.25").c_str());
+    const std::string engine_name = args.get("engine", "analytic");
+    const std::string json_out = args.get("json-out", "");
+    const std::optional<EngineKind> engine = parse_engine_kind(engine_name);
+    if (!engine)
+      throw UsageError("--engine takes cycle|analytic, got '" + engine_name +
+                       "'");
+
+    ServingOptions options;
+    options.num_workers = args.get_size(
+        "workers",
+        std::max<std::size_t>(2, std::thread::hardware_concurrency() / 2));
+    options.max_batch = args.get_size("max-batch", 16);
+    options.max_wait_us = args.get_size("max-wait-us", 200);
+    options.engine = *engine;
+    // Closed-loop saturation holds `clients` requests outstanding by
+    // design; size admission so the measurement phase itself is
+    // shed-free and sheds appear only if the frontend misbehaves.
+    options.queue_capacity = clients + options.max_batch;
+    options.max_queued_per_model = options.queue_capacity;
+
+    Rng rng{2024};
+    Workload load{{}, {}, {}, ZipfSampler(num_models, zipf_s),
+                  std::vector<std::uint64_t>(num_models, 0)};
+    for (std::size_t m = 0; m < num_models; ++m)
+      load.networks.push_back(make_model(m, rng));
+    load.inputs.assign(32, std::vector<float>(24, 0.0f));
+    for (auto& x : load.inputs)
+      for (float& v : x)
+        v = rng.bernoulli(0.4) ? 0.0f
+                               : static_cast<float>(rng.uniform(0.0, 1.0));
+
+    // ---- closed loop (saturation) ----
+    PhaseReport closed;
+    {
+      ServingFrontend frontend(options);
+      load.handles.clear();
+      for (const QuantizedNetwork& net : load.networks)
+        load.handles.push_back(frontend.register_model(net, bench_arch()));
+      closed = run_closed_loop(frontend, load, clients, requests, rng);
+      frontend.shutdown();
+    }
+    const std::vector<std::uint64_t> closed_per_model = load.per_model;
+
+    // ---- open loop (Poisson, fraction of saturation) ----
+    const double offered_rate =
+        std::max(1.0, open_load * closed.throughput());
+    PhaseReport open;
+    {
+      ServingFrontend frontend(options);
+      load.handles.clear();
+      load.per_model.assign(num_models, 0);
+      for (const QuantizedNetwork& net : load.networks)
+        load.handles.push_back(frontend.register_model(net, bench_arch()));
+      open = run_open_loop(frontend, load, offered_rate, requests, rng);
+      frontend.shutdown();
+    }
+
+    std::string json;
+    {
+      std::ostringstream os;
+      os << "{\n  \"engine\": \"" << to_string(*engine)
+         << "\",\n  \"clients\": " << clients
+         << ",\n  \"requests\": " << requests
+         << ",\n  \"models\": " << num_models
+         << ",\n  \"zipf_s\": " << zipf_s
+         << ",\n  \"workers\": " << options.num_workers
+         << ",\n  \"max_batch\": " << options.max_batch
+         << ",\n  \"max_wait_us\": " << options.max_wait_us << ",\n";
+      print_phase(os, "closed_loop", closed);
+      os << ",\n";
+      print_phase(os, "open_loop", open);
+      os << ",\n  \"open_loop_offered_rate_per_sec\": " << offered_rate
+         << ",\n  \"closed_loop_model_requests\": [";
+      for (std::size_t m = 0; m < closed_per_model.size(); ++m)
+        os << (m ? ", " : "") << closed_per_model[m];
+      os << "],\n  \"zoo_compiles\": " << closed.stats.zoo_compiles
+         << ",\n  \"zoo_hits\": " << closed.stats.zoo_hits << "\n}\n";
+      json = os.str();
+    }
+    std::cout << json;
+    if (!json_out.empty()) {
+      std::ofstream out(json_out);
+      out << json;
+      std::cout << "# written to " << json_out << "\n";
+    }
+
+    // Self-checks: accounting must balance and the percentile chain
+    // must be ordered and finite — CI additionally gates on the JSON.
+    for (const PhaseReport* r : {&closed, &open}) {
+      if (r->ok + r->shed != requests) {
+        std::cerr << "error: lost requests (" << r->ok << " ok + " << r->shed
+                  << " shed != " << requests << ")\n";
+        return 1;
+      }
+      const bool ordered = r->p50_us <= r->p95_us && r->p95_us <= r->p99_us;
+      if (!ordered || !std::isfinite(r->p99_us) || r->p99_us <= 0.0) {
+        std::cerr << "error: broken latency percentiles (p50 " << r->p50_us
+                  << ", p95 " << r->p95_us << ", p99 " << r->p99_us << ")\n";
+        return 1;
+      }
+    }
+    if (closed.shed != 0) {
+      // Admission was sized to hold every outstanding client.
+      std::cerr << "error: closed loop shed " << closed.shed
+                << " requests despite capacity >= clients\n";
+      return 1;
+    }
+    const std::uint64_t head = closed_per_model.front();
+    const std::uint64_t tail = closed_per_model.back();
+    if (num_models >= 2 && zipf_s > 0.0 && head <= tail) {
+      std::cerr << "error: zipf popularity not skewed (head " << head
+                << " <= tail " << tail << ")\n";
+      return 1;
+    }
+    return 0;
+  } catch (const sparsenn::UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -10,6 +10,10 @@
 //   sparsenn_cli batch    --model model.bin [--variant v] [--samples n]
 //                         [--threads t] [--uv on|off]
 //                         [--engine cycle|analytic]
+//   sparsenn_cli serve-bench --model model.bin [--variant v]
+//                         [--clients n] [--requests n] [--workers w]
+//                         [--max-batch b] [--max-wait-us us]
+//                         [--uv on|off] [--engine cycle|analytic]
 //   sparsenn_cli info     [--model model.bin]
 //
 // Every command also takes --simd auto|scalar: `scalar` forces the
@@ -25,7 +29,10 @@
 // cycle-accurate simulator, `analytic` the closed-form fast path with
 // bit-identical predictions and estimated cycles.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <future>
 #include <iostream>
 #include <stdexcept>
 #include <string>
@@ -42,6 +49,7 @@
 #include "sim/batch_runner.hpp"
 #include "sim/compiled_network.hpp"
 #include "sim/engine.hpp"
+#include "serve/frontend.hpp"
 #include "sim/trace.hpp"
 
 namespace {
@@ -187,12 +195,13 @@ int cmd_simulate(const Args& args) {
   Table table({"mode", "mean cycles", "mean power(mW)", "mean uJ"});
   for (const bool on : {true, false}) {
     if ((on && uv == "off") || (!on && uv == "on")) continue;
-    const CompiledNetwork& compiled = zoo.get(quantized, on);
+    const std::shared_ptr<const CompiledNetwork> compiled =
+        zoo.get(quantized, on);
     double cycles = 0.0;
     double mw = 0.0;
     double uj = 0.0;
     for (std::size_t i = 0; i < samples; ++i) {
-      const SimResult run = engine->run(compiled, split.test.image(i));
+      const SimResult run = engine->run(*compiled, split.test.image(i));
       const EnergyReport r = energy.report(run.total_events());
       cycles += static_cast<double>(run.total_cycles);
       mw += r.avg_power_mw;
@@ -253,6 +262,92 @@ int cmd_batch(const Args& args) {
   return 0;
 }
 
+int cmd_serve_bench(const Args& args) {
+  // Closed-loop load test of the serving tier against a trained model:
+  // every simulated client keeps one request outstanding, so the run
+  // measures saturation throughput and full-load latency percentiles
+  // through the real queue → micro-batcher → engine path.
+  const std::string uv = args.get("uv", "on");
+  if (uv != "on" && uv != "off") {
+    std::cerr << "error: serve-bench takes --uv on|off, got '" << uv << "'\n";
+    return 2;
+  }
+  ServingOptions options;
+  options.num_workers = args.get_size("workers", 2);
+  options.max_batch = args.get_size("max-batch", 8);
+  options.max_wait_us = args.get_size("max-wait-us", 200);
+  options.engine = parse_engine(args);
+  const std::size_t clients = args.get_size("clients", 64);
+  const std::size_t requests = args.get_size("requests", 512);
+  options.queue_capacity = clients + options.max_batch;
+  options.max_queued_per_model = options.queue_capacity;
+
+  const LoadedModel model = load_model(args);
+  const Dataset& test = model.split.test;
+  if (test.size() == 0) {
+    std::cerr << "error: the test split is empty, nothing to serve\n";
+    return 1;
+  }
+
+  ServingFrontend frontend(options);
+  const std::size_t handle =
+      frontend.register_model(model.quantized, ArchParams::paper());
+
+  using clock = std::chrono::steady_clock;
+  std::vector<std::future<ServeResult>> in_flight;
+  std::vector<double> latency_us;
+  latency_us.reserve(requests);
+  const auto submit = [&](std::size_t i) {
+    return frontend.submit(handle, test.image(i % test.size()), uv == "on");
+  };
+  const auto start = clock::now();
+  std::size_t issued = 0;
+  for (std::size_t c = 0; c < std::min(clients, requests); ++c)
+    in_flight.push_back(submit(issued++));
+  while (!in_flight.empty()) {
+    for (std::size_t s = 0; s < in_flight.size();) {
+      if (in_flight[s].wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        ++s;
+        continue;
+      }
+      const ServeResult r = in_flight[s].get();
+      if (r.status == ServeStatus::kOk) latency_us.push_back(r.total_us);
+      if (issued < requests) {
+        in_flight[s] = submit(issued++);
+        ++s;
+      } else {
+        in_flight.erase(in_flight.begin() + static_cast<std::ptrdiff_t>(s));
+      }
+    }
+  }
+  const double wall =
+      std::chrono::duration<double>(clock::now() - start).count();
+  frontend.shutdown();
+
+  const ServingStats stats = frontend.stats();
+  std::sort(latency_us.begin(), latency_us.end());
+  const auto pct = [&](double p) {
+    if (latency_us.empty()) return 0.0;
+    const auto idx = static_cast<std::size_t>(
+        p / 100.0 * static_cast<double>(latency_us.size() - 1));
+    return latency_us[idx];
+  };
+  std::cout << "Served " << stats.completed << " inferences ("
+            << (uv == "on" ? "uv_on" : "uv_off") << ", "
+            << to_string(options.engine) << " engine) from " << clients
+            << " closed-loop clients in " << wall << "s\n";
+  Table table({"workers", "inf/s", "p50 us", "p95 us", "p99 us",
+               "mean batch", "shed(%)"});
+  table.add_row({std::to_string(options.num_workers),
+                 Cell{static_cast<double>(stats.completed) / wall, 1},
+                 Cell{pct(50), 1}, Cell{pct(95), 1}, Cell{pct(99), 1},
+                 Cell{stats.mean_batch_size(), 2},
+                 Cell{100.0 * stats.shed_rate(), 2}});
+  table.print(std::cout);
+  return 0;
+}
+
 int cmd_info(const Args& args) {
   const ArchParams params = ArchParams::paper();
   const AreaBreakdown area = compute_area(params);
@@ -282,7 +377,7 @@ int cmd_info(const Args& args) {
 }
 
 int usage() {
-  std::cerr << "usage: sparsenn_cli {train|eval|simulate|batch|info} "
+  std::cerr << "usage: sparsenn_cli {train|eval|simulate|batch|serve-bench|info} "
                "[--key value ...]\n"
                "see the header of examples/sparsenn_cli.cpp\n";
   return 2;
@@ -302,6 +397,7 @@ int main(int argc, char** argv) {
     if (command == "eval") return cmd_eval(args);
     if (command == "simulate") return cmd_simulate(args);
     if (command == "batch") return cmd_batch(args);
+    if (command == "serve-bench") return cmd_serve_bench(args);
     if (command == "info") return cmd_info(args);
   } catch (const UsageError& error) {
     std::cerr << "error: " << error.what() << "\n";

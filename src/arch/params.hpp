@@ -84,6 +84,12 @@ struct ArchParams {
   /// match, etc.); throws std::invalid_argument on bad configs.
   void validate() const;
 
+  /// A total encoding of every field, usable as a map key: two
+  /// ArchParams produce the same key iff a compiled image / engine
+  /// built for one is valid for the other. core/zoo_registry.hpp keys
+  /// its zoo-of-zoos on this.
+  std::string cache_key() const;
+
   /// The paper's configuration (all defaults).
   static ArchParams paper();
 };

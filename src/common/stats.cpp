@@ -59,12 +59,14 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) noexcept {
+  // NaN has no bin; dropping it beats the old NaN→integer cast (UB).
+  if (std::isnan(x)) return;
   const double t = (x - lo_) / (hi_ - lo_);
   const auto bins = static_cast<double>(counts_.size());
-  auto idx = static_cast<std::ptrdiff_t>(t * bins);
-  idx = std::clamp<std::ptrdiff_t>(
-      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
+  // Clamp in the double domain: ±inf and out-of-range values saturate
+  // into the edge bins instead of overflowing the integer cast.
+  const double scaled = std::clamp(t * bins, 0.0, bins - 1.0);
+  ++counts_[static_cast<std::size_t>(scaled)];
   ++total_;
 }
 
@@ -76,13 +78,22 @@ double Histogram::bin_low(std::size_t i) const noexcept {
 double Histogram::percentile(double p) const noexcept {
   if (total_ == 0) return lo_;
   const double target = p / 100.0 * static_cast<double>(total_);
+  // p = 0 (target 0) would otherwise "cross" at the first bin even
+  // when it is empty; the distribution's floor is lo_.
+  if (target <= 0.0) return lo_;
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
   double cum = 0.0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
-    cum += static_cast<double>(counts_[i]);
-    if (cum >= target) {
-      const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
-      return bin_low(i) + w;
+    if (counts_[i] == 0) continue;  // empty bins cannot cross target
+    const double count = static_cast<double>(counts_[i]);
+    if (cum + count >= target) {
+      // Interpolate within the crossing bin: mass is spread uniformly
+      // over [bin_low, bin_low + w), so p = 100 lands on the filled
+      // fraction's upper edge and p50 of a single full bin on its
+      // midpoint — not unconditionally on bin_low + w.
+      return bin_low(i) + w * (target - cum) / count;
     }
+    cum += count;
   }
   return hi_;
 }

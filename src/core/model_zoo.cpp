@@ -10,8 +10,8 @@ ModelZoo::ModelZoo(const ArchParams& params, std::size_t capacity)
   expects(capacity_ > 0, "ModelZoo capacity must be at least 1");
 }
 
-const CompiledNetwork& ModelZoo::get(const QuantizedNetwork& network,
-                                     bool use_predictor) {
+std::shared_ptr<const CompiledNetwork> ModelZoo::get(
+    const QuantizedNetwork& network, bool use_predictor) {
   const std::uint64_t uid = network.uid();
   const std::uint64_t epoch = network.epoch();
 
@@ -45,7 +45,8 @@ const CompiledNetwork& ModelZoo::get(const QuantizedNetwork& network,
   ++compile_count_;
   entries_.push_front(Entry{
       uid, epoch, use_predictor,
-      CompiledNetwork(network, params_, use_predictor)});
+      std::make_shared<const CompiledNetwork>(network, params_,
+                                              use_predictor)});
   return entries_.front().image;
 }
 

@@ -23,15 +23,21 @@
 //     invalidates only that network's entries: get() drops same-uid
 //     entries whose epoch moved, other networks stay warm.
 //
-// Thread-safety: none. Owners serialise
-// access (System holds a mutex) and share the *returned image*
-// read-only across threads. A returned reference stays valid until
-// that entry is evicted or invalidated — with capacity ≥ the number of
-// distinct (network, uv) pairs in flight, references never move, which
-// is how System sizes its zoo (one network × two uv modes).
+// Thread-safety: none. Owners serialise access (System and
+// ZooRegistry hold a mutex) and share the *returned image* read-only
+// across threads. get() hands out a shared_ptr that co-owns the
+// image: eviction and invalidation only drop the zoo's own reference,
+// so an image held by an in-flight inference stays alive until that
+// inference releases it. (The pre-serving contract — "references are
+// valid until eviction, size the capacity above the pairs in flight" —
+// cannot hold under multi-model serving churn, where an eviction can
+// race an arbitrarily long cycle-engine run.) The source
+// QuantizedNetwork must still outlive any pinned image: the image's
+// stale() check reads through its network pointer.
 
 #include <cstdint>
 #include <list>
+#include <memory>
 
 #include "arch/params.hpp"
 #include "nn/quantized.hpp"
@@ -57,9 +63,11 @@ class ModelZoo {
   /// The compiled image for (network@its-current-epoch, uv mode):
   /// a hit refreshes the entry's recency; a miss compiles, inserting
   /// as most-recent and evicting the LRU entry when full. Same-uid
-  /// entries compiled at an older epoch are dropped on the way.
-  const CompiledNetwork& get(const QuantizedNetwork& network,
-                             bool use_predictor);
+  /// entries compiled at an older epoch are dropped on the way. The
+  /// returned pointer pins the image: it stays valid (and bit-exact)
+  /// even if the entry is evicted or invalidated while held.
+  std::shared_ptr<const CompiledNetwork> get(const QuantizedNetwork& network,
+                                             bool use_predictor);
 
   /// Whether a live image exists for (network@its-current-epoch, uv).
   bool contains(const QuantizedNetwork& network,
@@ -82,14 +90,14 @@ class ModelZoo {
     std::uint64_t uid;
     std::uint64_t epoch;
     bool use_predictor;
-    CompiledNetwork image;
+    /// Shared with every in-flight holder: dropping the entry only
+    /// releases the zoo's reference, never a running inference's.
+    std::shared_ptr<const CompiledNetwork> image;
   };
 
   ArchParams params_;
   std::size_t capacity_;
-  /// MRU first. std::list keeps entry addresses stable across splices
-  /// and unrelated insertions, so served references survive anything
-  /// short of their own eviction/invalidation.
+  /// MRU first.
   std::list<Entry> entries_;
   std::uint64_t compile_count_ = 0;
   std::uint64_t hit_count_ = 0;

@@ -63,7 +63,7 @@ SimResult System::simulate(std::size_t test_index, bool use_predictor) {
   // On the cycle engine this is bit-identical to the one-shot
   // run(network, …) path, minus the per-call recompile; the analytic
   // engine returns the same predictions with estimated cycles.
-  return engine_->run(compiled(use_predictor),
+  return engine_->run(*compiled(use_predictor),
                       split_->test.image(test_index),
                       ValidationMode::kFull);
 }
@@ -78,7 +78,11 @@ BatchResult System::simulate_batch(const BatchOptions& options) const {
   BatchOptions resolved = options;
   if (!resolved.engine) resolved.engine = options_.engine;
   const BatchRunner runner(options_.arch, resolved);
-  return runner.run(compiled(options.use_predictor), split_->test);
+  // The pin outlives the whole batch, so no zoo churn can free the
+  // image under the workers.
+  const std::shared_ptr<const CompiledNetwork> image =
+      compiled(options.use_predictor);
+  return runner.run(*image, split_->test);
 }
 
 HardwareComparison System::compare_hardware(std::size_t samples) {
@@ -114,15 +118,15 @@ HardwareComparison System::compare_hardware(std::size_t samples) {
   // Both uv images from the cache (one slot each, so they coexist);
   // the first sample runs with the golden cross-check, the rest trust
   // the engine (results are bit-identical either way).
-  const CompiledNetwork& compiled_on = compiled(true);
-  const CompiledNetwork& compiled_off = compiled(false);
+  const std::shared_ptr<const CompiledNetwork> compiled_on = compiled(true);
+  const std::shared_ptr<const CompiledNetwork> compiled_off = compiled(false);
   for (std::size_t i = 0; i < samples; ++i) {
     const ValidationMode mode =
         i == 0 ? ValidationMode::kFull : ValidationMode::kOff;
     absorb(out.uv_on,
-           engine_->run(compiled_on, split_->test.image(i), mode));
+           engine_->run(*compiled_on, split_->test.image(i), mode));
     absorb(out.uv_off,
-           engine_->run(compiled_off, split_->test.image(i), mode));
+           engine_->run(*compiled_off, split_->test.image(i), mode));
   }
 
   const auto finish = [&](std::vector<LayerHardwareCost>& dest) {

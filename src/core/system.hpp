@@ -133,15 +133,16 @@ class System {
   /// ModelZoo itself is not thread-safe, so every access goes through
   /// cache_mutex_: concurrent *const* calls (e.g. two threads in
   /// simulate_batch()) then serialize only the image fetch and share
-  /// the filled entry read-only. A System fetches at most two distinct
-  /// images (one per uv mode) per network epoch — far below the zoo's
-  /// capacity — so a served reference is destroyed only by a mutating
-  /// call (set_prediction_threshold, prepare), which, as for any other
-  /// member, must not run concurrently with readers.
+  /// the filled entry read-only. The returned shared_ptr pins the
+  /// image, so a caller's in-flight inference survives even an
+  /// eviction or a concurrent-epoch invalidation — only the source
+  /// network itself (quantized_) must stay alive, which mutating calls
+  /// (set_prediction_threshold, prepare) guarantee by not running
+  /// concurrently with readers.
   mutable std::mutex cache_mutex_;
   mutable ModelZoo zoo_;
 
-  const CompiledNetwork& compiled(bool use_predictor) const {
+  std::shared_ptr<const CompiledNetwork> compiled(bool use_predictor) const {
     const std::lock_guard<std::mutex> lock(cache_mutex_);
     return zoo_.get(*quantized_, use_predictor);
   }

@@ -1,0 +1,64 @@
+#pragma once
+// Arch-keyed zoo-of-zoos: one process, many accelerator configs.
+//
+// A ModelZoo is pinned to a single ArchParams — a compiled image is
+// only meaningful for the architecture it was sliced for. A serving
+// node, however, hosts models deployed against *mixed* configs (paper
+// 64-PE next to reduced 16-PE experiments, different queue depths,
+// different clocks). ZooRegistry closes that gap: it lazily creates
+// one ModelZoo per distinct ArchParams::cache_key() and routes every
+// image fetch to the right zoo, so the serving frontend resolves any
+// (arch, network, uv) triple through one object.
+//
+// Unlike the raw ModelZoo, the registry is thread-safe: one mutex
+// serialises fetches across zoos (hits are cheap lookups; a miss
+// compiles under the lock, which also guarantees at-most-one compile
+// per key under concurrent requests for the same image). The returned
+// shared_ptr pins the image independently of any later eviction —
+// see core/model_zoo.hpp.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "arch/params.hpp"
+#include "core/model_zoo.hpp"
+#include "nn/quantized.hpp"
+
+namespace sparsenn {
+
+class ZooRegistry {
+ public:
+  explicit ZooRegistry(
+      std::size_t capacity_per_zoo = ModelZoo::kDefaultCapacity);
+
+  /// The compiled image of (network@current-epoch, uv) for `arch`,
+  /// from the zoo owning that arch (created on first use). The
+  /// returned pointer pins the image across eviction/invalidation.
+  std::shared_ptr<const CompiledNetwork> get(const ArchParams& arch,
+                                             const QuantizedNetwork& network,
+                                             bool use_predictor);
+
+  /// Drops all of one network's images across every zoo; returns how
+  /// many were dropped. (Pinned in-flight images stay alive.)
+  std::size_t invalidate(std::uint64_t uid);
+
+  /// Live per-arch zoos (== distinct cache keys fetched so far).
+  std::size_t num_zoos() const;
+
+  // Aggregated observability across all zoos.
+  std::uint64_t compile_count() const;
+  std::uint64_t hit_count() const;
+  std::uint64_t eviction_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_per_zoo_;
+  /// Keyed on ArchParams::cache_key(). unique_ptr keeps zoo addresses
+  /// stable across map rebalancing (ModelZoo is not movable anyway).
+  std::map<std::string, std::unique_ptr<ModelZoo>> zoos_;
+};
+
+}  // namespace sparsenn

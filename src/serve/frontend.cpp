@@ -1,0 +1,230 @@
+#include "serve/frontend.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/check.hpp"
+#include "sim/compiled_network.hpp"
+#include "sim/result_arena.hpp"
+
+namespace sparsenn {
+
+namespace {
+
+/// Lane id = (model handle, uv mode): a micro-batch only groups
+/// requests that execute the same compiled image.
+std::uint64_t lane_of(std::size_t model, bool use_predictor) {
+  return (static_cast<std::uint64_t>(model) << 1) |
+         (use_predictor ? 1u : 0u);
+}
+
+double micros(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double, std::micro>(d).count();
+}
+
+}  // namespace
+
+const char* to_string(ServeStatus status) noexcept {
+  switch (status) {
+    case ServeStatus::kOk: return "ok";
+    case ServeStatus::kShedQueueFull: return "shed-queue-full";
+    case ServeStatus::kShedModelBusy: return "shed-model-busy";
+    case ServeStatus::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+ServingFrontend::ServingFrontend(ServingOptions options)
+    : options_(options),
+      zoos_(options_.zoo_capacity_per_arch),
+      queue_(RequestQueue<Pending>::Options{
+          options_.queue_capacity, options_.max_queued_per_model,
+          options_.max_batch,
+          std::chrono::microseconds(options_.max_wait_us)}),
+      batch_size_counts_(options_.max_batch, 0) {
+  expects(options_.num_workers > 0, "need at least one serving worker");
+  workers_.reserve(options_.num_workers);
+  try {
+    for (std::size_t w = 0; w < options_.num_workers; ++w)
+      workers_.emplace_back([this] { worker_main(); });
+  } catch (...) {
+    // Thread creation failed: stop and join what did start so the
+    // vector never destructs joinable threads.
+    queue_.shutdown();
+    for (std::thread& t : workers_) t.join();
+    throw;
+  }
+}
+
+ServingFrontend::~ServingFrontend() { shutdown(); }
+
+void ServingFrontend::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(models_mutex_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  queue_.shutdown();  // admission stops; queued requests drain
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+}
+
+std::size_t ServingFrontend::register_model(const QuantizedNetwork& network,
+                                            const ArchParams& arch) {
+  arch.validate();
+  for (std::size_t l = 0; l < network.num_layers(); ++l) {
+    expects(network.layer(l).w.cols <= arch.max_activations() &&
+                network.layer(l).w.rows <= arch.max_activations(),
+            "layer width exceeds the architecture's activation capacity");
+  }
+  const std::lock_guard<std::mutex> lock(models_mutex_);
+  expects(!shut_down_, "cannot register models after shutdown");
+  models_.push_back(ModelEntry{&network, arch});
+  return models_.size() - 1;
+}
+
+std::size_t ServingFrontend::num_models() const {
+  const std::lock_guard<std::mutex> lock(models_mutex_);
+  return models_.size();
+}
+
+std::future<ServeResult> ServingFrontend::shed(std::size_t model,
+                                               bool use_predictor,
+                                               ServeStatus status) {
+  // Shedding is a first-class response, not an exception: the future
+  // resolves immediately so open-loop clients account it as load
+  // turned away, with zero queue residence.
+  std::promise<ServeResult> promise;
+  ServeResult out;
+  out.status = status;
+  out.model = model;
+  out.use_predictor = use_predictor;
+  promise.set_value(std::move(out));
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++submitted_;
+    ++shed_;
+  }
+  return promise.get_future();
+}
+
+std::future<ServeResult> ServingFrontend::submit(std::size_t model,
+                                                 std::span<const float> input,
+                                                 bool use_predictor) {
+  {
+    const std::lock_guard<std::mutex> lock(models_mutex_);
+    expects(model < models_.size(), "unknown model handle");
+    if (shut_down_) return shed(model, use_predictor, ServeStatus::kShutdown);
+  }
+  Pending pending;
+  pending.model = model;
+  pending.use_predictor = use_predictor;
+  pending.input.assign(input.begin(), input.end());
+  std::future<ServeResult> future = pending.promise.get_future();
+
+  switch (queue_.try_push(lane_of(model, use_predictor),
+                          std::move(pending))) {
+    case PushOutcome::kAccepted: {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++submitted_;
+      return future;
+    }
+    case PushOutcome::kShedQueueFull:
+      return shed(model, use_predictor, ServeStatus::kShedQueueFull);
+    case PushOutcome::kShedLaneFull:
+      return shed(model, use_predictor, ServeStatus::kShedModelBusy);
+    case PushOutcome::kClosed:
+      return shed(model, use_predictor, ServeStatus::kShutdown);
+  }
+  return future;  // unreachable
+}
+
+void ServingFrontend::worker_main() {
+  // One private engine + arena per arch config this worker has seen:
+  // engines are stateful scratch owners (one per thread, like
+  // BatchRunner workers), and an arena re-reserves cheaply when a
+  // batch switches models within one arch.
+  struct Backend {
+    std::unique_ptr<ExecutionEngine> engine;
+    ResultArena arena;
+  };
+  std::map<std::string, Backend> backends;
+
+  while (auto batch = queue_.next_batch()) {
+    const std::size_t model_id = static_cast<std::size_t>(batch->lane >> 1);
+    const bool use_predictor = (batch->lane & 1) != 0;
+    ModelEntry entry{};
+    {
+      const std::lock_guard<std::mutex> lock(models_mutex_);
+      entry = models_[model_id];
+    }
+    // The zoo-of-zoos pins the image for the whole batch: a concurrent
+    // eviction (another worker compiling a colder model) cannot free
+    // it mid-inference.
+    const std::shared_ptr<const CompiledNetwork> image =
+        zoos_.get(entry.arch, *entry.network, use_predictor);
+
+    Backend& backend = backends[entry.arch.cache_key()];
+    if (!backend.engine)
+      backend.engine = make_engine(options_.engine, entry.arch);
+    backend.arena.reserve(*image);
+
+    for (std::size_t i = 0; i < batch->items.size(); ++i) {
+      Pending& pending = batch->items[i];
+      ServeResult out;
+      out.model = pending.model;
+      out.use_predictor = pending.use_predictor;
+      try {
+        const SimResult& r =
+            backend.engine->run(*image, pending.input, backend.arena,
+                                ValidationMode::kOff);
+        out.result = r;  // copy out: the arena slot is reused next run
+      } catch (...) {
+        pending.promise.set_exception(std::current_exception());
+        continue;
+      }
+      const auto done = RequestQueue<Pending>::Clock::now();
+      out.batch_size = batch->items.size();
+      out.batch_close = batch->close;
+      out.queue_us = micros(batch->closed_at - batch->enqueued[i]);
+      out.exec_us = micros(done - batch->closed_at);
+      out.total_us = micros(done - batch->enqueued[i]);
+      pending.promise.set_value(std::move(out));
+    }
+
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      completed_ += batch->items.size();
+      const std::size_t bucket =
+          std::min(batch->items.size(), batch_size_counts_.size()) - 1;
+      ++batch_size_counts_[bucket];
+      switch (batch->close) {
+        case BatchClose::kSize: ++size_closes_; break;
+        case BatchClose::kTimeout: ++timeout_closes_; break;
+        case BatchClose::kDrain: ++drain_closes_; break;
+      }
+    }
+  }
+}
+
+ServingStats ServingFrontend::stats() const {
+  ServingStats out;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    out.submitted = submitted_;
+    out.completed = completed_;
+    out.shed = shed_;
+    out.size_closes = size_closes_;
+    out.timeout_closes = timeout_closes_;
+    out.drain_closes = drain_closes_;
+    out.batch_size_counts = batch_size_counts_;
+  }
+  out.batches = queue_.batches();
+  out.zoo_compiles = zoos_.compile_count();
+  out.zoo_hits = zoos_.hit_count();
+  return out;
+}
+
+}  // namespace sparsenn

@@ -1,0 +1,188 @@
+#pragma once
+// ServingFrontend — the async request path of the serving tier.
+//
+//   clients ──submit()──▶ RequestQueue ──micro-batches──▶ workers
+//                (bounded MPMC,           (per-worker engines,
+//                 per-model lanes,         arch-keyed zoo-of-zoos,
+//                 admission/shedding)      zero-alloc arena path)
+//                                              │
+//   clients ◀──std::future<ServeResult>────────┘
+//
+// Every entry point before this PR was a synchronous batch sweep over
+// a dataset; the frontend turns the ModelZoo/engine/arena machinery
+// into a traffic endpoint. submit() copies the input, stamps it,
+// and pushes it into a bounded MPMC queue (serve/request_queue.hpp)
+// keyed by (model, uv) lane; worker threads close dynamic
+// micro-batches under a latency budget (max_batch or max_wait_us,
+// whichever first), resolve the compiled image through an arch-keyed
+// ZooRegistry — so one process serves models deployed against mixed
+// ArchParams configs — and run each request on the worker's private
+// ExecutionEngine through the zero-alloc ResultArena path. The
+// SimResult plus queueing/batching/execution timestamps come back
+// through the future.
+//
+// Results are bit-identical to System::simulate() for the same
+// (network, arch, input, uv) on both engine backends — batching only
+// changes *when* an inference runs, never its arithmetic
+// (tests/serve_test pins this cross-engine).
+//
+// Overload converts into shedding, not latency collapse: submit()
+// never blocks, and a request refused by admission control (global
+// queue capacity, or the per-model lane depth) resolves its future
+// immediately with a shed status.
+//
+// Lifetime: registered networks must outlive the frontend (the
+// compiled images' stale() checks read through them). The frontend
+// joins its workers in shutdown()/destructor after draining the
+// queue.
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "arch/params.hpp"
+#include "common/stats.hpp"
+#include "core/zoo_registry.hpp"
+#include "nn/quantized.hpp"
+#include "serve/request_queue.hpp"
+#include "sim/engine.hpp"
+
+namespace sparsenn {
+
+struct ServingOptions {
+  std::size_t num_workers = 2;
+  /// Micro-batch close triggers: size (max_batch) or latency budget
+  /// (max_wait_us since the batch's head request enqueued).
+  std::size_t max_batch = 8;
+  std::uint64_t max_wait_us = 200;
+  /// Admission control: global queue bound and per-(model, uv) lane
+  /// bound; beyond either, submit() sheds immediately.
+  std::size_t queue_capacity = 1024;
+  std::size_t max_queued_per_model = 256;
+  /// Backend each worker instantiates per arch config.
+  EngineKind engine = EngineKind::kAnalytic;
+  /// Compiled-image LRU capacity of each per-arch zoo.
+  std::size_t zoo_capacity_per_arch = ModelZoo::kDefaultCapacity;
+};
+
+enum class ServeStatus {
+  kOk,
+  kShedQueueFull,  ///< global queue capacity reached
+  kShedModelBusy,  ///< this model's lane depth bound reached
+  kShutdown,       ///< submitted after/while shutting down
+};
+
+const char* to_string(ServeStatus status) noexcept;
+
+/// One completed (or shed) request.
+struct ServeResult {
+  ServeStatus status = ServeStatus::kOk;
+  std::size_t model = 0;
+  bool use_predictor = true;
+  SimResult result;            ///< empty when shed
+  std::size_t batch_size = 0;  ///< micro-batch this request rode in
+  BatchClose batch_close = BatchClose::kSize;
+  // Latency decomposition, microseconds (0 when shed):
+  double queue_us = 0.0;  ///< enqueue → micro-batch close
+  double exec_us = 0.0;   ///< micro-batch close → this result ready
+  double total_us = 0.0;  ///< enqueue → this result ready
+};
+
+/// Aggregate frontend counters (single consistent snapshot).
+struct ServingStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t size_closes = 0;
+  std::uint64_t timeout_closes = 0;
+  std::uint64_t drain_closes = 0;
+  /// batch_size_counts[n-1] = micro-batches that closed with n
+  /// requests (capped at the configured max_batch).
+  std::vector<std::uint64_t> batch_size_counts;
+  std::uint64_t zoo_compiles = 0;
+  std::uint64_t zoo_hits = 0;
+
+  double shed_rate() const noexcept {
+    return submitted ? static_cast<double>(shed) /
+                           static_cast<double>(submitted)
+                     : 0.0;
+  }
+  double mean_batch_size() const noexcept {
+    return batches ? static_cast<double>(completed) /
+                         static_cast<double>(batches)
+                   : 0.0;
+  }
+};
+
+class ServingFrontend {
+ public:
+  explicit ServingFrontend(ServingOptions options);
+  ~ServingFrontend();
+
+  ServingFrontend(const ServingFrontend&) = delete;
+  ServingFrontend& operator=(const ServingFrontend&) = delete;
+
+  /// Registers a deployable model under its own ArchParams (mixed
+  /// configs are served side by side through the arch-keyed
+  /// zoo-of-zoos). The network must outlive the frontend and must not
+  /// mutate while registered. Returns the handle submit() takes.
+  std::size_t register_model(const QuantizedNetwork& network,
+                             const ArchParams& arch);
+
+  /// Async inference: copies `input`, enqueues, returns the future.
+  /// Never blocks — overload resolves the future immediately with a
+  /// shed status instead. Thread-safe (any number of client threads).
+  std::future<ServeResult> submit(std::size_t model,
+                                  std::span<const float> input,
+                                  bool use_predictor = true);
+
+  /// Stops admission, drains queued requests, joins the workers.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  const ServingOptions& options() const noexcept { return options_; }
+  std::size_t num_models() const;
+  ServingStats stats() const;
+
+ private:
+  struct Pending {
+    std::size_t model = 0;
+    bool use_predictor = true;
+    std::vector<float> input;
+    std::promise<ServeResult> promise;
+  };
+  struct ModelEntry {
+    const QuantizedNetwork* network;
+    ArchParams arch;
+  };
+
+  void worker_main();
+  std::future<ServeResult> shed(std::size_t model, bool use_predictor,
+                                ServeStatus status);
+
+  ServingOptions options_;
+  ZooRegistry zoos_;
+  RequestQueue<Pending> queue_;
+
+  mutable std::mutex models_mutex_;
+  std::vector<ModelEntry> models_;
+
+  mutable std::mutex stats_mutex_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t size_closes_ = 0;
+  std::uint64_t timeout_closes_ = 0;
+  std::uint64_t drain_closes_ = 0;
+  std::vector<std::uint64_t> batch_size_counts_;
+
+  std::vector<std::thread> workers_;
+  bool shut_down_ = false;  ///< guarded by models_mutex_
+};
+
+}  // namespace sparsenn

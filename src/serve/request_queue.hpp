@@ -1,0 +1,251 @@
+#pragma once
+// Bounded MPMC request queue with per-lane dynamic micro-batching.
+//
+// The serving frontend's admission point: any number of producer
+// threads push requests, any number of consumer (worker) threads pop
+// *micro-batches*. Requests are grouped into lanes — one lane per
+// (model, uv-mode) pair — because a micro-batch only makes sense over
+// requests that execute the same compiled image. A batch closes when
+// the first of two triggers fires:
+//
+//   size trigger:    the lane holds max_batch requests (close now,
+//                    no waiting — throughput path), or
+//   timeout trigger: the lane's HEAD request has been queued for
+//                    max_wait — the latency budget — and the batch
+//                    ships partial (tail-latency path).
+//
+// Boundedness is the backpressure story: try_push sheds (refuses)
+// when the global capacity is reached or when one lane exceeds its
+// per-lane depth bound (per-model admission control) instead of
+// queueing unboundedly — under overload the queue converts load into
+// a measured shed rate, not into latency collapse.
+//
+// Consumers claim a lane exclusively while forming its batch (the
+// in_service flag), so two workers never co-assemble one lane; lanes
+// are claimed oldest-head-first, which keeps cross-model service
+// order globally FIFO-ish under mixed traffic. All state lives under
+// one mutex with two condition variables (producer-side none — push
+// never blocks; consumer-side work/close signalling); the sanitizer
+// CI jobs run the multi-producer/multi-consumer tests under
+// ASan+UBSan in both SIMD dispatch modes.
+//
+// T must be movable; the queue stamps each item's enqueue time itself
+// (steady clock) so the timeout trigger measures true queue residence.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace sparsenn {
+
+/// Why a micro-batch was closed (reported per batch for the serving
+/// histograms; tests pin the trigger semantics).
+enum class BatchClose {
+  kSize,     ///< lane reached max_batch — closed immediately
+  kTimeout,  ///< head request hit the max_wait latency budget
+  kDrain,    ///< queue closed (shutdown): ship whatever is left
+};
+
+/// Outcome of a push attempt.
+enum class PushOutcome {
+  kAccepted,
+  kShedQueueFull,  ///< global capacity reached
+  kShedLaneFull,   ///< this lane's depth bound reached (per-model
+                   ///< admission control)
+  kClosed,         ///< queue shut down
+};
+
+template <typename T>
+class RequestQueue {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Options {
+    std::size_t capacity = 1024;       ///< global bound (all lanes)
+    std::size_t max_lane_depth = 256;  ///< per-lane admission bound
+    std::size_t max_batch = 8;         ///< micro-batch size trigger
+    std::chrono::microseconds max_wait{200};  ///< latency budget
+  };
+
+  struct Batch {
+    std::uint64_t lane = 0;
+    BatchClose close = BatchClose::kSize;
+    std::vector<T> items;
+    /// Each item's enqueue stamp (parallel to items) and the close
+    /// stamp, for queueing-delay accounting downstream.
+    std::vector<Clock::time_point> enqueued;
+    Clock::time_point closed_at{};
+  };
+
+  explicit RequestQueue(const Options& options) : options_(options) {
+    expects(options_.capacity > 0, "queue capacity must be at least 1");
+    expects(options_.max_lane_depth > 0, "lane depth must be at least 1");
+    expects(options_.max_batch > 0, "max_batch must be at least 1");
+  }
+
+  /// Non-blocking admission: sheds instead of waiting (the caller
+  /// converts a shed into an immediate client-visible response).
+  PushOutcome try_push(std::uint64_t lane_id, T item) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return PushOutcome::kClosed;
+      if (total_ >= options_.capacity) {
+        ++shed_queue_full_;
+        return PushOutcome::kShedQueueFull;
+      }
+      Lane& lane = lanes_[lane_id];
+      if (lane.slots.size() >= options_.max_lane_depth) {
+        ++shed_lane_full_;
+        return PushOutcome::kShedLaneFull;
+      }
+      lane.slots.push_back(Slot{std::move(item), Clock::now(), seq_++});
+      ++total_;
+      ++accepted_;
+    }
+    // All consumers wake: one to claim the lane if idle, and a
+    // consumer already waiting on this lane's deadline to re-check
+    // its size trigger.
+    work_cv_.notify_all();
+    return PushOutcome::kAccepted;
+  }
+
+  /// Blocks until a micro-batch closes (size/timeout/drain trigger) or
+  /// the queue is closed AND empty — then nullopt, telling the worker
+  /// to exit. Safe for any number of concurrent consumers.
+  std::optional<Batch> next_batch() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      Lane* lane = nullptr;
+      std::uint64_t lane_id = 0;
+      // Claim the serviceable lane with the oldest head request.
+      std::uint64_t best_seq = ~std::uint64_t{0};
+      for (auto& [id, candidate] : lanes_) {
+        if (candidate.in_service || candidate.slots.empty()) continue;
+        if (candidate.slots.front().seq < best_seq) {
+          best_seq = candidate.slots.front().seq;
+          lane = &candidate;
+          lane_id = id;
+        }
+      }
+      if (lane == nullptr) {
+        if (closed_ && total_ == 0) return std::nullopt;
+        work_cv_.wait(lock);
+        continue;
+      }
+
+      lane->in_service = true;
+      BatchClose close = BatchClose::kSize;
+      if (closed_) {
+        close = BatchClose::kDrain;
+      } else if (lane->slots.size() < options_.max_batch) {
+        // Hold the batch open until the size trigger or the head
+        // request's latency budget expires — whichever first.
+        const Clock::time_point deadline =
+            lane->slots.front().enqueued + options_.max_wait;
+        const bool filled = work_cv_.wait_until(lock, deadline, [&] {
+          return lane->slots.size() >= options_.max_batch || closed_;
+        });
+        if (closed_) {
+          close = BatchClose::kDrain;
+        } else if (!filled) {
+          close = BatchClose::kTimeout;
+        }
+      }
+
+      Batch batch;
+      batch.lane = lane_id;
+      batch.close = close;
+      batch.closed_at = Clock::now();
+      const std::size_t take =
+          std::min(lane->slots.size(), options_.max_batch);
+      batch.items.reserve(take);
+      batch.enqueued.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.items.push_back(std::move(lane->slots.front().item));
+        batch.enqueued.push_back(lane->slots.front().enqueued);
+        lane->slots.pop_front();
+      }
+      total_ -= take;
+      lane->in_service = false;
+      ++batches_;
+      // Wake the others when leftovers form a claimable batch, and
+      // always during shutdown — a consumer may be blocked waiting
+      // for this (possibly last) in-service lane to resolve before it
+      // can observe "closed and drained" and exit.
+      const bool notify = !lane->slots.empty() || closed_;
+      lock.unlock();
+      if (notify) work_cv_.notify_all();
+      return batch;
+    }
+  }
+
+  /// Stops admission and wakes every consumer; queued requests still
+  /// drain as kDrain batches, then next_batch() returns nullopt.
+  void shutdown() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    work_cv_.notify_all();
+  }
+
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return total_;
+  }
+  std::size_t lane_depth(std::uint64_t lane_id) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = lanes_.find(lane_id);
+    return it == lanes_.end() ? 0 : it->second.slots.size();
+  }
+
+  // Admission counters (monotone; read for shed-rate reporting).
+  std::uint64_t accepted() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return accepted_;
+  }
+  std::uint64_t shed_queue_full() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return shed_queue_full_;
+  }
+  std::uint64_t shed_lane_full() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return shed_lane_full_;
+  }
+  std::uint64_t batches() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return batches_;
+  }
+
+ private:
+  struct Slot {
+    T item;
+    Clock::time_point enqueued;
+    std::uint64_t seq;
+  };
+  struct Lane {
+    std::deque<Slot> slots;
+    bool in_service = false;
+  };
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::map<std::uint64_t, Lane> lanes_;
+  std::size_t total_ = 0;
+  std::uint64_t seq_ = 0;
+  bool closed_ = false;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t shed_queue_full_ = 0;
+  std::uint64_t shed_lane_full_ = 0;
+  std::uint64_t batches_ = 0;
+};
+
+}  // namespace sparsenn

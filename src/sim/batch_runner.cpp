@@ -133,6 +133,13 @@ BatchResult BatchRunner::run(const CompiledNetwork& compiled,
   std::vector<SimResult> results(options_.keep_results ? total : 0);
   std::vector<WorkerAccum> accums(options_.keep_results ? 0 : threads);
   std::atomic<std::size_t> cursor{0};
+  // kFirstInference is a PER-BATCH contract: the batch shares one
+  // compiled image, so one cross-check covers it. The first worker to
+  // win this flag validates; everyone else trusts the engine from
+  // inference one (a per-worker flag would validate once per thread,
+  // scaling the redundant golden recomputation with the pool size).
+  std::atomic<bool> batch_validated{false};
+  std::atomic<std::size_t> validated_count{0};
   std::mutex error_mutex;
   std::exception_ptr error;
 
@@ -149,19 +156,19 @@ BatchResult BatchRunner::run(const CompiledNetwork& compiled,
         options_.engine.value_or(EngineKind::kCycle), params_);
     ResultArena arena;
     if (!options_.keep_results) arena.reserve(compiled);
-    bool validated_one = false;
     try {
       while (true) {
         const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
         if (i >= total) break;
+        bool full = options_.validation == BatchValidation::kFull;
+        if (options_.validation == BatchValidation::kFirstInference &&
+            !batch_validated.load(std::memory_order_relaxed) &&
+            !batch_validated.exchange(true, std::memory_order_relaxed)) {
+          full = true;
+        }
         const ValidationMode mode =
-            options_.validation == BatchValidation::kFull ||
-                    (options_.validation ==
-                         BatchValidation::kFirstInference &&
-                     !validated_one)
-                ? ValidationMode::kFull
-                : ValidationMode::kOff;
-        validated_one = true;
+            full ? ValidationMode::kFull : ValidationMode::kOff;
+        if (full) validated_count.fetch_add(1, std::memory_order_relaxed);
         if (options_.keep_results) {
           results[i] = engine->run(compiled, data.image(i), mode);
         } else {
@@ -208,6 +215,7 @@ BatchResult BatchRunner::run(const CompiledNetwork& compiled,
   BatchResult out;
   out.num_inferences = total;
   out.num_threads = threads;
+  out.validated_inferences = validated_count.load();
   out.wall_seconds = std::chrono::duration<double>(stop - start).count();
 
   // Deterministic merge: per-input results in input order, or worker

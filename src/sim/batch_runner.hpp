@@ -17,8 +17,9 @@
 //
 // With keep_results=false each worker folds inferences into a private
 // accumulator through a per-worker ResultArena
-// (sim/result_arena.hpp): after its first (validated) inference a
-// worker performs zero heap allocations per inference —
+// (sim/result_arena.hpp): past the batch's single validated inference
+// (BatchValidation::kFirstInference) a worker performs zero heap
+// allocations per inference —
 // bench/sim_throughput asserts the marginal allocation count is
 // exactly 0 and tests/result_arena_test pins it.
 
@@ -40,8 +41,13 @@ namespace sparsenn {
 /// functional model alongside the simulation and asserts equality.
 enum class BatchValidation {
   kFull,            ///< every layer of every inference (debug)
-  kFirstInference,  ///< each worker validates its first inference,
-                    ///< then trusts the compiled engine (default)
+  kFirstInference,  ///< exactly ONE inference per batch is validated —
+                    ///< whichever worker claims the shared atomic flag
+                    ///< first — then every worker trusts the compiled
+                    ///< engine (default). Per-batch, not per-worker:
+                    ///< all workers run the same compiled image, so
+                    ///< one cross-check covers the batch and the
+                    ///< validation cost stays O(1) in the thread count.
   kOff,             ///< no cross-checking
 };
 
@@ -89,6 +95,10 @@ struct BatchResult {
   std::uint64_t total_cycles = 0;
   std::size_t num_inferences = 0;
   std::size_t num_threads = 0;   ///< workers actually used
+  /// Inferences that ran with the golden cross-check on: total under
+  /// kFull, exactly 1 under kFirstInference (when any ran), 0 under
+  /// kOff — observability for the validation contract.
+  std::size_t validated_inferences = 0;
   double wall_seconds = 0.0;
   /// Classification error over the batch (percent); -1 when the
   /// dataset carries no labels.

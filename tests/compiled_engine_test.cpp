@@ -257,24 +257,24 @@ TEST(ModelZooCache, ReusesImagesUntilEpochMoves) {
   ModelZoo cache(tiny_arch());
   EXPECT_EQ(cache.compile_count(), 0u);
 
-  const CompiledNetwork& on = cache.get(q, true);
-  const CompiledNetwork& off = cache.get(q, false);
+  const std::shared_ptr<const CompiledNetwork> on = cache.get(q, true);
+  const std::shared_ptr<const CompiledNetwork> off = cache.get(q, false);
   EXPECT_EQ(cache.compile_count(), 2u);
-  EXPECT_TRUE(on.use_predictor());
-  EXPECT_FALSE(off.use_predictor());
+  EXPECT_TRUE(on->use_predictor());
+  EXPECT_FALSE(off->use_predictor());
 
   // Hits: same network, same epoch, same uv mode → the same image.
-  EXPECT_EQ(&cache.get(q, true), &on);
-  EXPECT_EQ(&cache.get(q, false), &off);
+  EXPECT_EQ(cache.get(q, true), on);
+  EXPECT_EQ(cache.get(q, false), off);
   EXPECT_EQ(cache.compile_count(), 2u);
 
   // A mutation moves the epoch; the next get() recompiles, and the
   // fresh image carries the new threshold (never a stale snapshot).
   q.set_prediction_threshold(0.25);
-  const CompiledNetwork& on2 = cache.get(q, true);
+  const std::shared_ptr<const CompiledNetwork> on2 = cache.get(q, true);
   EXPECT_EQ(cache.compile_count(), 3u);
-  EXPECT_FALSE(on2.stale());
-  EXPECT_EQ(on2.source_epoch(), q.epoch());
+  EXPECT_FALSE(on2->stale());
+  EXPECT_EQ(on2->source_epoch(), q.epoch());
 
   cache.invalidate();
   (void)cache.get(q, true);
@@ -294,10 +294,11 @@ TEST(ModelZooCache, AddressReuseNeverServesTheOldNetworksImage) {
   EXPECT_EQ(cache.compile_count(), 1u);
 
   slot.emplace(seeded_network(rng));  // same address, different weights
-  const CompiledNetwork& recompiled = cache.get(*slot, true);
+  const std::shared_ptr<const CompiledNetwork> recompiled =
+      cache.get(*slot, true);
   EXPECT_EQ(cache.compile_count(), 2u);
-  EXPECT_TRUE(recompiled.compiled_from(*slot));
-  EXPECT_FALSE(recompiled.stale());
+  EXPECT_TRUE(recompiled->compiled_from(*slot));
+  EXPECT_FALSE(recompiled->stale());
 }
 
 TEST(CompiledEngine, UidIsFreshAcrossCopiesAndAssignment) {
@@ -327,7 +328,7 @@ TEST(ModelZooCache, CachedRunsBitIdenticalToUncached) {
   for (const bool uv_on : {true, false}) {
     for (std::size_t i = 0; i < f.data.size(); ++i) {
       const SimResult cached =
-          sim.run(cache.get(f.network, uv_on), f.data.image(i));
+          sim.run(*cache.get(f.network, uv_on), f.data.image(i));
       EXPECT_EQ(cached, fresh_run(f.network, f.data.image(i), uv_on))
           << "input " << i << " uv " << uv_on;
     }

@@ -65,7 +65,10 @@ void expect_equivalent(const QuantizedNetwork& network,
   samples = std::min(samples, images.rows());
   ASSERT_GT(samples, 0u);
   for (const bool uv_on : {true, false}) {
-    const CompiledNetwork& compiled = zoo.get(network, uv_on);
+    // Bind the pin, not a reference into a temporary shared_ptr.
+    const std::shared_ptr<const CompiledNetwork> image =
+        zoo.get(network, uv_on);
+    const CompiledNetwork& compiled = *image;
     for (std::size_t i = 0; i < samples; ++i) {
       const SimResult exact =
           cycle->run(compiled, images.row(i), ValidationMode::kFull);

@@ -11,6 +11,7 @@
 
 #include "common/rng.hpp"
 #include "core/model_zoo.hpp"
+#include "core/zoo_registry.hpp"
 #include "sim/accelerator.hpp"
 #include "sim/engine.hpp"
 #include "sim_fixtures.hpp"
@@ -89,12 +90,12 @@ TEST(ModelZoo, EvictedNetworkRecompilesIdentically) {
   const std::vector<float> input = test_input(9);
 
   AcceleratorSim sim(tiny_arch());
-  const SimResult before = sim.run(zoo.get(a, true), input);
+  const SimResult before = sim.run(*zoo.get(a, true), input);
 
   (void)zoo.get(b, true);  // capacity 1 → evicts a's image
   EXPECT_FALSE(zoo.contains(a, true));
 
-  const SimResult after = sim.run(zoo.get(a, true), input);
+  const SimResult after = sim.run(*zoo.get(a, true), input);
   EXPECT_EQ(zoo.compile_count(), 3u);  // a, b, a again
   // Images are pure functions of (network state, arch, uv): the
   // recompiled image reproduces cycles, events and activations
@@ -133,16 +134,65 @@ TEST(ModelZoo, BothUvModesCoexistForOneNetwork) {
   ModelZoo zoo(tiny_arch(), /*capacity=*/2);
   const QuantizedNetwork a = network_with_seed(1);
 
-  const CompiledNetwork& on = zoo.get(a, true);
-  const CompiledNetwork& off = zoo.get(a, false);
-  EXPECT_TRUE(on.use_predictor());
-  EXPECT_FALSE(off.use_predictor());
+  const std::shared_ptr<const CompiledNetwork> on = zoo.get(a, true);
+  const std::shared_ptr<const CompiledNetwork> off = zoo.get(a, false);
+  EXPECT_TRUE(on->use_predictor());
+  EXPECT_FALSE(off->use_predictor());
   EXPECT_EQ(zoo.size(), 2u);
 
   (void)zoo.get(a, true);
   (void)zoo.get(a, false);
   EXPECT_EQ(zoo.compile_count(), 2u);  // both further gets were hits
   EXPECT_EQ(zoo.hit_count(), 2u);
+}
+
+TEST(ModelZoo, PinnedImageSurvivesEvictionInFlight) {
+  ModelZoo zoo(tiny_arch(), /*capacity=*/1);
+  const QuantizedNetwork a = network_with_seed(1);
+  const QuantizedNetwork b = network_with_seed(2);
+  const std::vector<float> input = test_input(9);
+
+  AcceleratorSim sim(tiny_arch());
+  const std::shared_ptr<const CompiledNetwork> pinned = zoo.get(a, true);
+  const SimResult before = sim.run(*pinned, input);
+
+  // Eviction (capacity 1) AND a full invalidate while the image is
+  // still held "in flight": the pin keeps it alive and bit-exact.
+  (void)zoo.get(b, true);
+  zoo.invalidate();
+  EXPECT_FALSE(zoo.contains(a, true));
+  EXPECT_EQ(zoo.size(), 0u);
+  EXPECT_EQ(sim.run(*pinned, input), before);
+
+  // The recompile-after-evict property still holds alongside pinning.
+  EXPECT_EQ(sim.run(*zoo.get(a, true), input), before);
+}
+
+TEST(ZooRegistry, RoutesMixedArchConfigsToSeparateZoos) {
+  ZooRegistry registry;
+  const QuantizedNetwork a = network_with_seed(1);
+
+  ArchParams small = tiny_arch();
+  ArchParams deeper = tiny_arch();
+  deeper.act_queue_depth = 4;  // distinct config → distinct zoo
+  ASSERT_NE(small.cache_key(), deeper.cache_key());
+
+  const auto img_small = registry.get(small, a, true);
+  const auto img_deeper = registry.get(deeper, a, true);
+  EXPECT_EQ(registry.num_zoos(), 2u);
+  EXPECT_EQ(registry.compile_count(), 2u);
+  EXPECT_EQ(img_small->params().act_queue_depth, 8u);
+  EXPECT_EQ(img_deeper->params().act_queue_depth, 4u);
+
+  // Same (arch, network, uv) again: a hit in the right zoo.
+  (void)registry.get(small, a, true);
+  EXPECT_EQ(registry.compile_count(), 2u);
+  EXPECT_EQ(registry.hit_count(), 1u);
+
+  // Targeted invalidation sweeps the uid out of every zoo.
+  EXPECT_EQ(registry.invalidate(a.uid()), 2u);
+  (void)registry.get(small, a, true);
+  EXPECT_EQ(registry.compile_count(), 3u);
 }
 
 TEST(ModelZoo, TargetedInvalidateDropsOneNetwork) {
@@ -167,14 +217,14 @@ TEST(ModelZoo, ServesBothBackendsTheSameImage) {
   const QuantizedNetwork a = network_with_seed(1);
   const std::vector<float> input = test_input(11);
 
-  const CompiledNetwork& image = zoo.get(a, true);
+  const std::shared_ptr<const CompiledNetwork> image = zoo.get(a, true);
   const std::unique_ptr<ExecutionEngine> cycle =
       make_engine(EngineKind::kCycle, tiny_arch());
   const std::unique_ptr<ExecutionEngine> analytic =
       make_engine(EngineKind::kAnalytic, tiny_arch());
 
-  const SimResult exact = cycle->run(image, input);
-  const SimResult fast = analytic->run(image, input);
+  const SimResult exact = cycle->run(*image, input);
+  const SimResult fast = analytic->run(*image, input);
   EXPECT_EQ(exact.output, fast.output);
   ASSERT_EQ(exact.layers.size(), fast.layers.size());
   for (std::size_t l = 0; l < exact.layers.size(); ++l)

@@ -1,0 +1,349 @@
+// Tests for the serving tier (src/serve/): micro-batch close triggers,
+// admission-control shedding, drain-on-shutdown, mixed-arch routing —
+// and the acceptance bar: a served result is bit-identical to a direct
+// simulation of the same input on both engine backends. Batching only
+// changes *when* an inference runs, never its arithmetic.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "serve/frontend.hpp"
+#include "serve/request_queue.hpp"
+#include "sim/compiled_network.hpp"
+#include "sim_fixtures.hpp"
+
+namespace sparsenn {
+namespace {
+
+using test_fixtures::make_batch_fixture;
+using test_fixtures::tiny_arch;
+using Fixture = test_fixtures::BatchFixture;
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// RequestQueue: the close triggers and admission control are
+// deterministic at this level (no worker threads racing the clock).
+
+RequestQueue<int>::Options queue_options(std::size_t capacity,
+                                         std::size_t lane_depth,
+                                         std::size_t max_batch,
+                                         std::chrono::microseconds wait) {
+  RequestQueue<int>::Options o;
+  o.capacity = capacity;
+  o.max_lane_depth = lane_depth;
+  o.max_batch = max_batch;
+  o.max_wait = wait;
+  return o;
+}
+
+TEST(RequestQueue, SizeTriggerClosesImmediately) {
+  // A lane already holding max_batch requests must close without
+  // consuming any of the latency budget.
+  RequestQueue<int> q(queue_options(64, 64, 4, /*wait=*/10s));
+  for (int i = 0; i < 4; ++i)
+    ASSERT_EQ(q.try_push(/*lane=*/7, int{i}), PushOutcome::kAccepted);
+
+  const auto start = RequestQueue<int>::Clock::now();
+  const auto batch = q.next_batch();
+  const auto elapsed = RequestQueue<int>::Clock::now() - start;
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->close, BatchClose::kSize);
+  EXPECT_EQ(batch->lane, 7u);
+  ASSERT_EQ(batch->items.size(), 4u);
+  ASSERT_EQ(batch->enqueued.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(batch->items[i], i);
+  EXPECT_LT(elapsed, 5s);  // did not sit out the 10s budget
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(RequestQueue, TimeoutTriggerShipsPartialBatch) {
+  // Fewer than max_batch requests: the batch must ship when the HEAD
+  // request's budget expires, carrying whatever arrived.
+  RequestQueue<int> q(queue_options(64, 64, 8, /*wait=*/2ms));
+  ASSERT_EQ(q.try_push(0, 1), PushOutcome::kAccepted);
+  ASSERT_EQ(q.try_push(0, 2), PushOutcome::kAccepted);
+
+  const auto batch = q.next_batch();
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->close, BatchClose::kTimeout);
+  ASSERT_EQ(batch->items.size(), 2u);
+  EXPECT_GE(batch->closed_at - batch->enqueued.front(), 2ms);
+}
+
+TEST(RequestQueue, LateArrivalsJoinAnOpenBatchUpToTheSizeTrigger) {
+  // A consumer already waiting on a lane must still take pushes that
+  // arrive before its deadline — and close early once full.
+  RequestQueue<int> q(queue_options(64, 64, 3, /*wait=*/5s));
+  ASSERT_EQ(q.try_push(0, 0), PushOutcome::kAccepted);
+  std::thread producer([&q] {
+    std::this_thread::sleep_for(10ms);
+    (void)q.try_push(0, 1);
+    (void)q.try_push(0, 2);
+  });
+  const auto batch = q.next_batch();
+  producer.join();
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->close, BatchClose::kSize);
+  EXPECT_EQ(batch->items.size(), 3u);
+}
+
+TEST(RequestQueue, ShedsOnGlobalAndPerLaneBounds) {
+  RequestQueue<int> q(queue_options(/*capacity=*/3, /*lane_depth=*/2,
+                                    /*max_batch=*/8, 10s));
+  EXPECT_EQ(q.try_push(0, 0), PushOutcome::kAccepted);
+  EXPECT_EQ(q.try_push(0, 1), PushOutcome::kAccepted);
+  // Lane 0 is at its depth bound; the queue still has room.
+  EXPECT_EQ(q.try_push(0, 2), PushOutcome::kShedLaneFull);
+  EXPECT_EQ(q.try_push(1, 3), PushOutcome::kAccepted);
+  // Global capacity reached: every lane sheds, even fresh ones.
+  EXPECT_EQ(q.try_push(2, 4), PushOutcome::kShedQueueFull);
+  EXPECT_EQ(q.accepted(), 3u);
+  EXPECT_EQ(q.shed_lane_full(), 1u);
+  EXPECT_EQ(q.shed_queue_full(), 1u);
+  EXPECT_EQ(q.lane_depth(0), 2u);
+}
+
+TEST(RequestQueue, ShutdownDrainsThenSignalsExit) {
+  RequestQueue<int> q(queue_options(64, 64, /*max_batch=*/2, 10s));
+  for (int i = 0; i < 5; ++i)
+    ASSERT_EQ(q.try_push(/*lane=*/i % 2, int{i}), PushOutcome::kAccepted);
+  q.shutdown();
+  EXPECT_EQ(q.try_push(0, 99), PushOutcome::kClosed);
+
+  std::size_t drained = 0;
+  while (const auto batch = q.next_batch()) {
+    EXPECT_LE(batch->items.size(), 2u);
+    drained += batch->items.size();
+  }
+  EXPECT_EQ(drained, 5u);
+  EXPECT_EQ(q.next_batch(), std::nullopt);  // stays terminal
+}
+
+TEST(RequestQueue, ManyProducersManyConsumersLoseNothing) {
+  // The MPMC contract under the sanitizer jobs: every accepted item
+  // comes out in exactly one batch.
+  RequestQueue<int> q(queue_options(4096, 4096, 4, /*wait=*/500us));
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        ASSERT_EQ(q.try_push(/*lane=*/p % 3, p * kPerProducer + i),
+                  PushOutcome::kAccepted);
+    });
+  }
+  std::vector<std::thread> consumers;
+  std::mutex seen_mutex;
+  std::vector<int> seen;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (const auto batch = q.next_batch()) {
+        const std::lock_guard<std::mutex> lock(seen_mutex);
+        seen.insert(seen.end(), batch->items.begin(), batch->items.end());
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.shutdown();
+  for (auto& t : consumers) t.join();
+
+  ASSERT_EQ(seen.size(),
+            static_cast<std::size_t>(kProducers * kPerProducer));
+  std::sort(seen.begin(), seen.end());
+  for (int i = 0; i < kProducers * kPerProducer; ++i)
+    ASSERT_EQ(seen[static_cast<std::size_t>(i)], i);
+}
+
+// ---------------------------------------------------------------------------
+// ServingFrontend: end-to-end over real inferences.
+
+ServingOptions serving_options(EngineKind kind) {
+  ServingOptions o;
+  o.num_workers = 2;
+  o.max_batch = 4;
+  o.max_wait_us = 500;
+  o.engine = kind;
+  return o;
+}
+
+class ServeEngines : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(ServeEngines, ServedResultsBitIdenticalToDirectSimulation) {
+  // The acceptance bar: for the same (network, arch, input, uv), a
+  // result that travelled queue → micro-batch → worker engine → arena
+  // equals a direct fully-validated simulation, bitwise, on both
+  // backends and in both uv modes.
+  const Fixture f = make_batch_fixture(10, /*seed=*/51);
+  ServingFrontend frontend(serving_options(GetParam()));
+  const std::size_t model = frontend.register_model(f.network, tiny_arch());
+
+  std::vector<std::future<ServeResult>> futures;
+  for (std::size_t i = 0; i < f.data.size(); ++i)
+    for (const bool uv : {true, false})
+      futures.push_back(frontend.submit(model, f.data.image(i), uv));
+
+  const auto engine = make_engine(GetParam(), tiny_arch());
+  const CompiledNetwork on(f.network, tiny_arch(), /*use_predictor=*/true);
+  const CompiledNetwork off(f.network, tiny_arch(), /*use_predictor=*/false);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < f.data.size(); ++i) {
+    for (const bool uv : {true, false}) {
+      const ServeResult served = futures[k++].get();
+      ASSERT_EQ(served.status, ServeStatus::kOk);
+      EXPECT_EQ(served.model, model);
+      EXPECT_EQ(served.use_predictor, uv);
+      EXPECT_GE(served.batch_size, 1u);
+      EXPECT_GE(served.total_us, served.exec_us);
+      const SimResult expected = engine->run(uv ? on : off, f.data.image(i),
+                                             ValidationMode::kFull);
+      EXPECT_EQ(served.result, expected) << "input " << i << " uv " << uv;
+    }
+  }
+
+  frontend.shutdown();
+  const ServingStats stats = frontend.stats();
+  EXPECT_EQ(stats.submitted, futures.size());
+  EXPECT_EQ(stats.completed, futures.size());
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.size_closes + stats.timeout_closes + stats.drain_closes,
+            stats.batches);
+  // Two lanes (uv on/off) → exactly two compiles, everything else hits.
+  EXPECT_EQ(stats.zoo_compiles, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ServeEngines,
+                         ::testing::Values(EngineKind::kCycle,
+                                           EngineKind::kAnalytic));
+
+TEST(ServingFrontend, MixedArchConfigsServeSideBySide) {
+  // The zoo-of-zoos: one process, one frontend, two ArchParams. Each
+  // model's results must match a direct simulation under ITS arch.
+  const Fixture f = make_batch_fixture(4, /*seed=*/53);
+  ArchParams wide = tiny_arch();
+  wide.act_queue_depth = 4;
+
+  ServingFrontend frontend(serving_options(EngineKind::kAnalytic));
+  const std::size_t m_tiny = frontend.register_model(f.network, tiny_arch());
+  const std::size_t m_wide = frontend.register_model(f.network, wide);
+
+  std::vector<std::future<ServeResult>> tiny_futs, wide_futs;
+  for (std::size_t i = 0; i < f.data.size(); ++i) {
+    tiny_futs.push_back(frontend.submit(m_tiny, f.data.image(i)));
+    wide_futs.push_back(frontend.submit(m_wide, f.data.image(i)));
+  }
+
+  const auto tiny_engine = make_engine(EngineKind::kAnalytic, tiny_arch());
+  const auto wide_engine = make_engine(EngineKind::kAnalytic, wide);
+  const CompiledNetwork tiny_img(f.network, tiny_arch(), true);
+  const CompiledNetwork wide_img(f.network, wide, true);
+  for (std::size_t i = 0; i < f.data.size(); ++i) {
+    EXPECT_EQ(tiny_futs[i].get().result,
+              tiny_engine->run(tiny_img, f.data.image(i)));
+    EXPECT_EQ(wide_futs[i].get().result,
+              wide_engine->run(wide_img, f.data.image(i)));
+  }
+  // One compile per (arch, uv-on) pair; no cross-arch aliasing.
+  EXPECT_EQ(frontend.stats().zoo_compiles, 2u);
+}
+
+TEST(ServingFrontend, ShedsUnderOverloadInsteadOfQueueingUnboundedly) {
+  // Tiny queue + a batcher holding its lane open for far longer than
+  // the submit burst takes: almost everything past the capacity must
+  // shed, immediately, with a diagnosable status — and every accepted
+  // request must still complete.
+  const Fixture f = make_batch_fixture(1, /*seed=*/57);
+  ServingOptions options;
+  options.num_workers = 1;
+  options.max_batch = 64;        // never reached (capacity is smaller)
+  options.max_wait_us = 200000;  // 200ms: the burst below takes µs
+  options.queue_capacity = 4;
+  options.max_queued_per_model = 4;
+  ServingFrontend frontend(options);
+  const std::size_t model = frontend.register_model(f.network, tiny_arch());
+
+  constexpr std::size_t kBurst = 32;
+  std::vector<std::future<ServeResult>> futures;
+  for (std::size_t i = 0; i < kBurst; ++i)
+    futures.push_back(frontend.submit(model, f.data.image(0)));
+
+  std::size_t ok = 0, shed = 0;
+  for (auto& fut : futures) {
+    const ServeResult r = fut.get();
+    if (r.status == ServeStatus::kOk) {
+      ++ok;
+      EXPECT_FALSE(r.result.layers.empty());
+    } else {
+      ++shed;
+      EXPECT_TRUE(r.status == ServeStatus::kShedQueueFull ||
+                  r.status == ServeStatus::kShedModelBusy)
+          << to_string(r.status);
+      EXPECT_TRUE(r.result.layers.empty());
+      EXPECT_EQ(r.total_us, 0.0);  // refused at admission, zero residence
+    }
+  }
+  EXPECT_EQ(ok + shed, kBurst);
+  EXPECT_GE(shed, kBurst - 2 * options.queue_capacity);  // most of the burst
+  EXPECT_GE(ok, options.queue_capacity);  // the admitted head completed
+
+  frontend.shutdown();
+  const ServingStats stats = frontend.stats();
+  EXPECT_EQ(stats.submitted, kBurst);
+  EXPECT_EQ(stats.shed, shed);
+  EXPECT_EQ(stats.completed, ok);
+  EXPECT_GT(stats.shed_rate(), 0.5);
+}
+
+TEST(ServingFrontend, ShutdownDrainsAcceptedWorkAndRefusesNewWork) {
+  const Fixture f = make_batch_fixture(6, /*seed=*/59);
+  ServingOptions options = serving_options(EngineKind::kAnalytic);
+  options.max_wait_us = 200000;  // requests are queued when we shut down
+  ServingFrontend frontend(options);
+  const std::size_t model = frontend.register_model(f.network, tiny_arch());
+
+  std::vector<std::future<ServeResult>> futures;
+  for (std::size_t i = 0; i < f.data.size(); ++i)
+    futures.push_back(frontend.submit(model, f.data.image(i)));
+  frontend.shutdown();  // drains; idempotent with the destructor
+
+  for (auto& fut : futures) EXPECT_EQ(fut.get().status, ServeStatus::kOk);
+  const ServeResult refused =
+      frontend.submit(model, f.data.image(0)).get();
+  EXPECT_EQ(refused.status, ServeStatus::kShutdown);
+  EXPECT_EQ(frontend.stats().completed, f.data.size());
+}
+
+TEST(ServingFrontend, BatchSizeHistogramAccountsEveryBatch) {
+  const Fixture f = make_batch_fixture(9, /*seed=*/61);
+  ServingFrontend frontend(serving_options(EngineKind::kAnalytic));
+  std::vector<std::future<ServeResult>> futures;
+  const std::size_t model = frontend.register_model(f.network, tiny_arch());
+  for (std::size_t i = 0; i < f.data.size(); ++i)
+    futures.push_back(frontend.submit(model, f.data.image(i)));
+  for (auto& fut : futures) ASSERT_EQ(fut.get().status, ServeStatus::kOk);
+  frontend.shutdown();
+
+  const ServingStats stats = frontend.stats();
+  ASSERT_EQ(stats.batch_size_counts.size(), frontend.options().max_batch);
+  std::uint64_t histogram_batches = 0, histogram_requests = 0;
+  for (std::size_t n = 0; n < stats.batch_size_counts.size(); ++n) {
+    histogram_batches += stats.batch_size_counts[n];
+    histogram_requests += stats.batch_size_counts[n] * (n + 1);
+  }
+  EXPECT_EQ(histogram_batches, stats.batches);
+  EXPECT_EQ(histogram_requests, stats.completed);
+  EXPECT_GT(stats.mean_batch_size(), 0.0);
+}
+
+}  // namespace
+}  // namespace sparsenn
