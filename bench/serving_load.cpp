@@ -124,6 +124,7 @@ struct PhaseReport {
   double wall_seconds = 0.0;
   std::uint64_t ok = 0;
   std::uint64_t shed = 0;
+  std::uint64_t failed = 0;  ///< resolved kEngineError (0 in a healthy run)
   double p50_us = 0.0, p95_us = 0.0, p99_us = 0.0;
   ServingStats stats;
 
@@ -131,7 +132,7 @@ struct PhaseReport {
     return wall_seconds > 0.0 ? static_cast<double>(ok) / wall_seconds : 0.0;
   }
   double shed_rate() const {
-    const std::uint64_t total = ok + shed;
+    const std::uint64_t total = ok + shed + failed;
     return total ? static_cast<double>(shed) / static_cast<double>(total)
                  : 0.0;
   }
@@ -161,6 +162,8 @@ void finish(Slot& slot, PhaseReport& report, std::vector<double>& latencies) {
   if (r.status == ServeStatus::kOk) {
     ++report.ok;
     latencies.push_back(us_between(slot.submitted, Clock::now()));
+  } else if (r.status == ServeStatus::kEngineError) {
+    ++report.failed;
   } else {
     ++report.shed;
   }
@@ -270,6 +273,10 @@ void print_phase(std::ostream& os, const char* name, const PhaseReport& r) {
   os << "  \"" << name << "\": {"
      << "\"wall_seconds\": " << r.wall_seconds
      << ", \"completed\": " << r.ok << ", \"shed\": " << r.shed
+     << ", \"failed\": " << r.failed
+     << ", \"deadline_shed\": " << r.stats.deadline_shed
+     << ", \"retries\": " << r.stats.retries
+     << ", \"workers_restarted\": " << r.stats.workers_restarted
      << ", \"throughput_inf_per_sec\": " << r.throughput()
      << ", \"shed_rate\": " << r.shed_rate()
      << ", \"p50_us\": " << r.p50_us << ", \"p95_us\": " << r.p95_us
@@ -384,9 +391,16 @@ int main(int argc, char** argv) {
     // Self-checks: accounting must balance and the percentile chain
     // must be ordered and finite — CI additionally gates on the JSON.
     for (const PhaseReport* r : {&closed, &open}) {
-      if (r->ok + r->shed != requests) {
+      if (r->ok + r->shed + r->failed != requests) {
         std::cerr << "error: lost requests (" << r->ok << " ok + " << r->shed
-                  << " shed != " << requests << ")\n";
+                  << " shed + " << r->failed << " failed != " << requests
+                  << ")\n";
+        return 1;
+      }
+      if (r->failed != 0) {
+        // No faults are armed here: any engine error is a real bug.
+        std::cerr << "error: " << r->failed
+                  << " requests failed with engine errors\n";
         return 1;
       }
       const bool ordered = r->p50_us <= r->p95_us && r->p95_us <= r->p99_us;

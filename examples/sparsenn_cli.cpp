@@ -338,12 +338,14 @@ int cmd_serve_bench(const Args& args) {
             << to_string(options.engine) << " engine) from " << clients
             << " closed-loop clients in " << wall << "s\n";
   Table table({"workers", "inf/s", "p50 us", "p95 us", "p99 us",
-               "mean batch", "shed(%)"});
+               "mean batch", "shed(%)", "failed", "restarts"});
   table.add_row({std::to_string(options.num_workers),
                  Cell{static_cast<double>(stats.completed) / wall, 1},
                  Cell{pct(50), 1}, Cell{pct(95), 1}, Cell{pct(99), 1},
                  Cell{stats.mean_batch_size(), 2},
-                 Cell{100.0 * stats.shed_rate(), 2}});
+                 Cell{100.0 * stats.shed_rate(), 2},
+                 std::to_string(stats.failed),
+                 std::to_string(stats.workers_restarted)});
   table.print(std::cout);
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "core/model_zoo.hpp"
 
 #include "common/check.hpp"
+#include "common/fault.hpp"
 
 namespace sparsenn {
 
@@ -35,6 +36,12 @@ std::shared_ptr<const CompiledNetwork> ModelZoo::get(
     }
     ++it;
   }
+
+  // Chaos hook on the miss path only: an injected compile failure is
+  // transient by construction — the retrying caller re-enters here and
+  // may succeed on the next attempt. Fires before eviction so a failed
+  // compile never costs a warm image.
+  (void)fault::point("zoo.compile");
 
   // Miss: evict down to capacity - 1 before compiling, so the zoo
   // never holds more than `capacity_` images even transiently.

@@ -1,6 +1,7 @@
 #include "core/zoo_registry.hpp"
 
 #include "common/check.hpp"
+#include "common/fault.hpp"
 
 namespace sparsenn {
 
@@ -12,6 +13,11 @@ ZooRegistry::ZooRegistry(std::size_t capacity_per_zoo)
 std::shared_ptr<const CompiledNetwork> ZooRegistry::get(
     const ArchParams& arch, const QuantizedNetwork& network,
     bool use_predictor) {
+  // Chaos hook, deliberately outside the registry lock so an injected
+  // stall delays one fetch, not every zoo in the process. A throw here
+  // (or from zoo.compile below) is the serving tier's transient
+  // compile-failure class — the frontend retries it with backoff.
+  (void)fault::point("zoo.registry.get");
   const std::lock_guard<std::mutex> lock(mutex_);
   std::unique_ptr<ModelZoo>& zoo = zoos_[arch.cache_key()];
   if (!zoo) zoo = std::make_unique<ModelZoo>(arch, capacity_per_zoo_);

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/fault.hpp"
 #include "sim/compiled_network.hpp"
 #include "sim/result_arena.hpp"
 
@@ -24,6 +25,13 @@ double micros(std::chrono::steady_clock::duration d) {
   return std::chrono::duration<double, std::micro>(d).count();
 }
 
+std::uint64_t steady_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 const char* to_string(ServeStatus status) noexcept {
@@ -32,9 +40,20 @@ const char* to_string(ServeStatus status) noexcept {
     case ServeStatus::kShedQueueFull: return "shed-queue-full";
     case ServeStatus::kShedModelBusy: return "shed-model-busy";
     case ServeStatus::kShutdown: return "shutdown";
+    case ServeStatus::kDeadlineExceeded: return "deadline-exceeded";
+    case ServeStatus::kEngineError: return "engine-error";
   }
   return "unknown";
 }
+
+/// One private engine + arena per arch config a worker has seen:
+/// engines are stateful scratch owners (one per thread, like
+/// BatchRunner workers), and an arena re-reserves cheaply when a
+/// batch switches models within one arch.
+struct ServingFrontend::EngineSlot {
+  std::unique_ptr<ExecutionEngine> engine;
+  ResultArena arena;
+};
 
 ServingFrontend::ServingFrontend(ServingOptions options)
     : options_(options),
@@ -45,20 +64,35 @@ ServingFrontend::ServingFrontend(ServingOptions options)
           std::chrono::microseconds(options_.max_wait_us)}),
       batch_size_counts_(options_.max_batch, 0) {
   expects(options_.num_workers > 0, "need at least one serving worker");
-  workers_.reserve(options_.num_workers);
   try {
-    for (std::size_t w = 0; w < options_.num_workers; ++w)
-      workers_.emplace_back([this] { worker_main(); });
+    {
+      const std::lock_guard<std::mutex> lock(workers_mutex_);
+      workers_.reserve(options_.num_workers);
+      for (std::size_t w = 0; w < options_.num_workers; ++w)
+        spawn_worker_locked();
+    }
+    if (options_.worker_stall_timeout_us > 0)
+      watchdog_ = std::thread([this] { watchdog_main(); });
   } catch (...) {
-    // Thread creation failed: stop and join what did start so the
-    // vector never destructs joinable threads.
+    // Thread creation failed: stop and join what did start so no
+    // joinable thread is ever destructed.
     queue_.shutdown();
-    for (std::thread& t : workers_) t.join();
+    const std::lock_guard<std::mutex> lock(workers_mutex_);
+    for (auto& w : workers_)
+      if (w->thread.joinable()) w->thread.join();
     throw;
   }
 }
 
 ServingFrontend::~ServingFrontend() { shutdown(); }
+
+void ServingFrontend::spawn_worker_locked() {
+  auto worker = std::make_unique<Worker>();
+  worker->last_beat_us.store(steady_now_us(), std::memory_order_relaxed);
+  Worker* raw = worker.get();
+  workers_.push_back(std::move(worker));
+  raw->thread = std::thread([this, raw] { worker_main(*raw); });
+}
 
 void ServingFrontend::shutdown() {
   {
@@ -66,9 +100,25 @@ void ServingFrontend::shutdown() {
     if (shut_down_) return;
     shut_down_ = true;
   }
+  // Watchdog first: no replacement workers may spawn during teardown.
+  if (watchdog_.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(watchdog_mutex_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_.join();
+  }
   queue_.shutdown();  // admission stops; queued requests drain
-  for (std::thread& t : workers_) t.join();
-  workers_.clear();
+  // Join every worker ever spawned — replacements and lost originals
+  // alike (a revived hung worker resolves its batch, then exits).
+  std::vector<std::unique_ptr<Worker>> workers;
+  {
+    const std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers.swap(workers_);
+  }
+  for (auto& w : workers)
+    if (w->thread.joinable()) w->thread.join();
 }
 
 std::size_t ServingFrontend::register_model(const QuantizedNetwork& network,
@@ -90,33 +140,40 @@ std::size_t ServingFrontend::num_models() const {
   return models_.size();
 }
 
-std::future<ServeResult> ServingFrontend::shed(std::size_t model,
-                                               bool use_predictor,
-                                               ServeStatus status) {
-  // Shedding is a first-class response, not an exception: the future
-  // resolves immediately so open-loop clients account it as load
-  // turned away, with zero queue residence.
+std::future<ServeResult> ServingFrontend::resolve_now(std::size_t model,
+                                                      bool use_predictor,
+                                                      ServeStatus status,
+                                                      std::string error) {
+  // Shedding (and admission-path failure) is a first-class response,
+  // not an exception: the future resolves immediately so open-loop
+  // clients account it as load turned away, with zero queue residence.
   std::promise<ServeResult> promise;
   ServeResult out;
   out.status = status;
   out.model = model;
   out.use_predictor = use_predictor;
+  out.error = std::move(error);
   promise.set_value(std::move(out));
   {
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     ++submitted_;
-    ++shed_;
+    if (status == ServeStatus::kEngineError)
+      ++failed_;
+    else
+      ++shed_;
   }
   return promise.get_future();
 }
 
-std::future<ServeResult> ServingFrontend::submit(std::size_t model,
-                                                 std::span<const float> input,
-                                                 bool use_predictor) {
+std::future<ServeResult> ServingFrontend::submit(
+    std::size_t model, std::span<const float> input,
+    const SubmitOptions& submit_options) {
+  const bool use_predictor = submit_options.use_predictor;
   {
     const std::lock_guard<std::mutex> lock(models_mutex_);
     expects(model < models_.size(), "unknown model handle");
-    if (shut_down_) return shed(model, use_predictor, ServeStatus::kShutdown);
+    if (shut_down_)
+      return resolve_now(model, use_predictor, ServeStatus::kShutdown);
   }
   Pending pending;
   pending.model = model;
@@ -124,87 +181,245 @@ std::future<ServeResult> ServingFrontend::submit(std::size_t model,
   pending.input.assign(input.begin(), input.end());
   std::future<ServeResult> future = pending.promise.get_future();
 
-  switch (queue_.try_push(lane_of(model, use_predictor),
-                          std::move(pending))) {
+  const auto deadline =
+      submit_options.deadline_us > 0
+          ? RequestQueue<Pending>::Clock::now() +
+                std::chrono::microseconds(submit_options.deadline_us)
+          : RequestQueue<Pending>::kNoDeadline;
+  PushOutcome outcome;
+  try {
+    outcome = queue_.try_push(lane_of(model, use_predictor),
+                              std::move(pending), deadline);
+  } catch (const std::exception& e) {
+    // Admission-path failure (e.g. an armed serve.queue.push throw, or
+    // an allocation failure): contained — the client gets a resolved
+    // failed future, never a leaked exception or a broken promise.
+    return resolve_now(model, use_predictor, ServeStatus::kEngineError,
+                       e.what());
+  }
+  switch (outcome) {
     case PushOutcome::kAccepted: {
       const std::lock_guard<std::mutex> lock(stats_mutex_);
       ++submitted_;
       return future;
     }
     case PushOutcome::kShedQueueFull:
-      return shed(model, use_predictor, ServeStatus::kShedQueueFull);
+      return resolve_now(model, use_predictor, ServeStatus::kShedQueueFull);
     case PushOutcome::kShedLaneFull:
-      return shed(model, use_predictor, ServeStatus::kShedModelBusy);
+      return resolve_now(model, use_predictor, ServeStatus::kShedModelBusy);
     case PushOutcome::kClosed:
-      return shed(model, use_predictor, ServeStatus::kShutdown);
+      return resolve_now(model, use_predictor, ServeStatus::kShutdown);
   }
   return future;  // unreachable
 }
 
-void ServingFrontend::worker_main() {
-  // One private engine + arena per arch config this worker has seen:
-  // engines are stateful scratch owners (one per thread, like
-  // BatchRunner workers), and an arena re-reserves cheaply when a
-  // batch switches models within one arch.
-  struct Backend {
-    std::unique_ptr<ExecutionEngine> engine;
-    ResultArena arena;
-  };
-  std::map<std::string, Backend> backends;
+void ServingFrontend::worker_main(Worker& self) {
+  std::map<std::string, EngineSlot> backends;
+  for (;;) {
+    self.busy.store(false, std::memory_order_release);
+    auto batch = queue_.next_batch();
+    if (!batch) break;
+    self.last_beat_us.store(steady_now_us(), std::memory_order_release);
+    self.busy.store(true, std::memory_order_release);
+    process_batch(*batch, backends, self);
+    if (self.lost.load(std::memory_order_acquire)) {
+      // The watchdog replaced this worker while it was stalled. Its
+      // batch is resolved (above); retire quietly — the replacement
+      // carries the capacity from here on.
+      break;
+    }
+  }
+  self.busy.store(false, std::memory_order_release);
+}
 
-  while (auto batch = queue_.next_batch()) {
-    const std::size_t model_id = static_cast<std::size_t>(batch->lane >> 1);
-    const bool use_predictor = (batch->lane & 1) != 0;
+void ServingFrontend::process_batch(
+    RequestQueue<Pending>::Batch& batch,
+    std::map<std::string, EngineSlot>& backends, Worker& self) {
+  const std::size_t model_id = static_cast<std::size_t>(batch.lane >> 1);
+  const bool use_predictor = (batch.lane & 1) != 0;
+  const std::size_t n = batch.items.size();
+  std::vector<char> resolved(n, 0);
+  std::uint64_t ok = 0, failed = 0, dead = 0, retries_used = 0;
+
+  // Failure containment: no exception may escape this function — a
+  // batch-level failure resolves every not-yet-resolved request with
+  // kEngineError and the worker lives on to serve the next batch.
+  const auto fail_unresolved = [&](const std::string& what) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (resolved[i]) continue;
+      Pending& pending = batch.items[i];
+      ServeResult out;
+      out.status = ServeStatus::kEngineError;
+      out.model = pending.model;
+      out.use_predictor = pending.use_predictor;
+      out.error = what;
+      out.batch_size = n;
+      out.batch_close = batch.close;
+      const auto done = RequestQueue<Pending>::Clock::now();
+      out.queue_us = micros(batch.closed_at - batch.enqueued[i]);
+      out.exec_us = micros(done - batch.closed_at);
+      out.total_us = micros(done - batch.enqueued[i]);
+      pending.promise.set_value(std::move(out));
+      resolved[i] = 1;
+      ++failed;
+    }
+  };
+
+  try {
+    // Chaos hook: a batch-level throw exercises the containment path
+    // above; an injected delay stalls the worker into watchdog range.
+    (void)fault::point("serve.worker.batch");
+
     ModelEntry entry{};
     {
       const std::lock_guard<std::mutex> lock(models_mutex_);
       entry = models_[model_id];
     }
-    // The zoo-of-zoos pins the image for the whole batch: a concurrent
-    // eviction (another worker compiling a colder model) cannot free
-    // it mid-inference.
-    const std::shared_ptr<const CompiledNetwork> image =
-        zoos_.get(entry.arch, *entry.network, use_predictor);
 
-    Backend& backend = backends[entry.arch.cache_key()];
-    if (!backend.engine)
-      backend.engine = make_engine(options_.engine, entry.arch);
-    backend.arena.reserve(*image);
-
-    for (std::size_t i = 0; i < batch->items.size(); ++i) {
-      Pending& pending = batch->items[i];
+    // Deadline shed at claim time: a request that outlived its
+    // usefulness is resolved kDeadlineExceeded before any compile or
+    // engine time is spent on it.
+    const auto claim_time = RequestQueue<Pending>::Clock::now();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (batch.deadlines[i] >= claim_time) continue;
+      Pending& pending = batch.items[i];
       ServeResult out;
+      out.status = ServeStatus::kDeadlineExceeded;
       out.model = pending.model;
       out.use_predictor = pending.use_predictor;
-      try {
-        const SimResult& r =
-            backend.engine->run(*image, pending.input, backend.arena,
-                                ValidationMode::kOff);
-        out.result = r;  // copy out: the arena slot is reused next run
-      } catch (...) {
-        pending.promise.set_exception(std::current_exception());
-        continue;
-      }
-      const auto done = RequestQueue<Pending>::Clock::now();
-      out.batch_size = batch->items.size();
-      out.batch_close = batch->close;
-      out.queue_us = micros(batch->closed_at - batch->enqueued[i]);
-      out.exec_us = micros(done - batch->closed_at);
-      out.total_us = micros(done - batch->enqueued[i]);
+      out.batch_size = n;
+      out.batch_close = batch.close;
+      out.queue_us = micros(batch.closed_at - batch.enqueued[i]);
+      out.total_us = micros(claim_time - batch.enqueued[i]);
       pending.promise.set_value(std::move(out));
+      resolved[i] = 1;
+      ++dead;
     }
 
-    {
-      const std::lock_guard<std::mutex> lock(stats_mutex_);
-      completed_ += batch->items.size();
-      const std::size_t bucket =
-          std::min(batch->items.size(), batch_size_counts_.size()) - 1;
-      ++batch_size_counts_[bucket];
-      switch (batch->close) {
-        case BatchClose::kSize: ++size_closes_; break;
-        case BatchClose::kTimeout: ++timeout_closes_; break;
-        case BatchClose::kDrain: ++drain_closes_; break;
+    if (dead < n) {
+      // Resolve the compiled image, retrying transient failures with
+      // exponential backoff. The zoo-of-zoos pins the image for the
+      // whole batch: a concurrent eviction (another worker compiling
+      // a colder model) cannot free it mid-inference.
+      std::shared_ptr<const CompiledNetwork> image;
+      std::uint64_t backoff_us = options_.retry_backoff_us;
+      for (std::uint32_t attempt = 0;; ++attempt) {
+        try {
+          image = zoos_.get(entry.arch, *entry.network, use_predictor);
+          break;
+        } catch (const std::exception&) {
+          if (attempt >= options_.max_retries) throw;
+          ++retries_used;
+          self.last_beat_us.store(steady_now_us(),
+                                  std::memory_order_release);
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(backoff_us));
+          backoff_us *= 2;
+        }
       }
+
+      EngineSlot& backend = backends[entry.arch.cache_key()];
+      if (!backend.engine)
+        backend.engine = make_engine(options_.engine, entry.arch);
+      backend.arena.reserve(*image);
+
+      for (std::size_t i = 0; i < n; ++i) {
+        if (resolved[i]) continue;
+        self.last_beat_us.store(steady_now_us(), std::memory_order_release);
+        // Chaos hook: an injected delay beyond the stall bound makes
+        // this worker "hang" mid-batch for the watchdog to catch.
+        (void)fault::point("serve.worker.hang");
+        Pending& pending = batch.items[i];
+        ServeResult out;
+        out.model = pending.model;
+        out.use_predictor = pending.use_predictor;
+        try {
+          const SimResult& r =
+              backend.engine->run(*image, pending.input, backend.arena,
+                                  ValidationMode::kOff);
+          out.result = r;  // copy out: the arena slot is reused next run
+        } catch (const std::exception& e) {
+          // Per-request containment: this request fails, the rest of
+          // the batch still executes.
+          out.status = ServeStatus::kEngineError;
+          out.error = e.what();
+        } catch (...) {
+          out.status = ServeStatus::kEngineError;
+          out.error = "unknown engine error";
+        }
+        if (out.status == ServeStatus::kOk &&
+            fault::point("serve.result.corrupt")) {
+          fault::corrupt_i16(out.result.output);
+          out.fault_corrupted = true;
+        }
+        const auto done = RequestQueue<Pending>::Clock::now();
+        out.batch_size = n;
+        out.batch_close = batch.close;
+        out.queue_us = micros(batch.closed_at - batch.enqueued[i]);
+        out.exec_us = micros(done - batch.closed_at);
+        out.total_us = micros(done - batch.enqueued[i]);
+        if (out.status == ServeStatus::kOk)
+          ++ok;
+        else
+          ++failed;
+        pending.promise.set_value(std::move(out));
+        resolved[i] = 1;
+      }
+    }
+  } catch (const std::exception& e) {
+    fail_unresolved(e.what());
+  } catch (...) {
+    fail_unresolved("unknown serving failure");
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    completed_ += ok;
+    failed_ += failed;
+    shed_ += dead;
+    deadline_shed_ += dead;
+    retries_ += retries_used;
+    const std::size_t bucket = std::min(n, batch_size_counts_.size()) - 1;
+    ++batch_size_counts_[bucket];
+    switch (batch.close) {
+      case BatchClose::kSize: ++size_closes_; break;
+      case BatchClose::kTimeout: ++timeout_closes_; break;
+      case BatchClose::kDrain: ++drain_closes_; break;
+    }
+  }
+}
+
+void ServingFrontend::watchdog_main() {
+  const auto interval =
+      std::chrono::microseconds(options_.watchdog_interval_us);
+  std::unique_lock<std::mutex> lock(watchdog_mutex_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(lock, interval);
+    if (watchdog_stop_) break;
+    const std::uint64_t now = steady_now_us();
+    const std::uint64_t bound = options_.worker_stall_timeout_us;
+    std::size_t lost_now = 0;
+    {
+      const std::lock_guard<std::mutex> workers_lock(workers_mutex_);
+      for (auto& w : workers_) {
+        if (w->lost.load(std::memory_order_acquire)) continue;
+        if (!w->busy.load(std::memory_order_acquire)) continue;
+        const std::uint64_t beat =
+            w->last_beat_us.load(std::memory_order_acquire);
+        if (now > beat && now - beat > bound) {
+          // Stalled mid-batch beyond the bound: give up on it. The
+          // thread itself cannot be killed — if it ever revives it
+          // resolves its batch and retires — but serving capacity is
+          // restored right now by a replacement.
+          w->lost.store(true, std::memory_order_release);
+          ++lost_now;
+        }
+      }
+      for (std::size_t s = 0; s < lost_now; ++s) spawn_worker_locked();
+    }
+    if (lost_now > 0) {
+      const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      workers_restarted_ += lost_now;
     }
   }
 }
@@ -216,6 +431,10 @@ ServingStats ServingFrontend::stats() const {
     out.submitted = submitted_;
     out.completed = completed_;
     out.shed = shed_;
+    out.failed = failed_;
+    out.deadline_shed = deadline_shed_;
+    out.retries = retries_;
+    out.workers_restarted = workers_restarted_;
     out.size_closes = size_closes_;
     out.timeout_closes = timeout_closes_;
     out.drain_closes = drain_closes_;

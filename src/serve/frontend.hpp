@@ -4,9 +4,10 @@
 //   clients ──submit()──▶ RequestQueue ──micro-batches──▶ workers
 //                (bounded MPMC,           (per-worker engines,
 //                 per-model lanes,         arch-keyed zoo-of-zoos,
-//                 admission/shedding)      zero-alloc arena path)
+//                 admission/shedding,      zero-alloc arena path,
+//                 per-request deadlines)   failure containment)
 //                                              │
-//   clients ◀──std::future<ServeResult>────────┘
+//   clients ◀──std::future<ServeResult>────────┘        watchdog ↺
 //
 // Every entry point before this PR was a synchronous batch sweep over
 // a dataset; the frontend turns the ModelZoo/engine/arena machinery
@@ -26,21 +27,64 @@
 // changes *when* an inference runs, never its arithmetic
 // (tests/serve_test pins this cross-engine).
 //
-// Overload converts into shedding, not latency collapse: submit()
-// never blocks, and a request refused by admission control (global
-// queue capacity, or the per-model lane depth) resolves its future
-// immediately with a shed status.
+// Failure semantics (the contract tests/chaos_test.cpp enforces under
+// seeded fault storms):
+//
+//   containment — an exception anywhere inside a worker's batch
+//     (engine run, zoo compile, arena reserve ...) fails exactly the
+//     affected request(s) with ServeStatus::kEngineError carrying the
+//     exception message. The worker thread survives, the process
+//     survives, and no std::future is ever abandoned — every accepted
+//     future resolves with a definite status.
+//
+//   deadlines — SubmitOptions::deadline_us bounds a request's useful
+//     life. Expired requests are shed as kDeadlineExceeded at
+//     batch-claim time, before any engine work is spent on them, and
+//     the queue's batch-close wait is deadline-aware (a batch whose
+//     head is about to die ships immediately).
+//
+//   retry — a failure while resolving the compiled image (the
+//     transient class: an injected compile failure, an allocation
+//     hiccup) retries up to ServingOptions::max_retries with
+//     exponential backoff (retry_backoff_us, doubling) before the
+//     batch fails.
+//
+//   watchdog — when worker_stall_timeout_us > 0, a supervisor thread
+//     watches per-worker heartbeats; a worker that stalls mid-batch
+//     beyond the bound is marked lost (ServingStats::workers_restarted)
+//     and a replacement is spawned, so capacity degrades gracefully
+//     instead of silently shrinking. A lost worker that later revives
+//     finishes (and resolves) its batch, then retires.
+//
+//   shedding — overload converts into shedding, not latency collapse:
+//     submit() never blocks, and a request refused by admission
+//     control (global queue capacity, or the per-model lane depth)
+//     resolves its future immediately with a shed status.
+//
+// Accounting is exact: submitted == completed + shed + failed once
+// the frontend is drained (deadline sheds count into `shed` and are
+// also broken out as `deadline_shed`).
+//
+// Fault points (common/fault.hpp) are threaded through the stack —
+// serve.queue.push, serve.worker.batch, serve.worker.hang,
+// serve.result.corrupt, zoo.registry.get, zoo.compile, engine.run —
+// and are zero-cost no-ops unless a test arms them.
 //
 // Lifetime: registered networks must outlive the frontend (the
 // compiled images' stale() checks read through them). The frontend
 // joins its workers in shutdown()/destructor after draining the
 // queue.
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -67,26 +111,53 @@ struct ServingOptions {
   EngineKind engine = EngineKind::kAnalytic;
   /// Compiled-image LRU capacity of each per-arch zoo.
   std::size_t zoo_capacity_per_arch = ModelZoo::kDefaultCapacity;
+  /// Bounded retry for transient compile-image failures: attempts
+  /// beyond the first, with exponential backoff starting at
+  /// retry_backoff_us and doubling per attempt. 0 = fail fast.
+  std::uint32_t max_retries = 0;
+  std::uint64_t retry_backoff_us = 100;
+  /// Worker watchdog: a worker busy on a batch that has not heartbeat
+  /// within worker_stall_timeout_us is marked lost and replaced.
+  /// 0 disables the watchdog (no supervisor thread is started).
+  std::uint64_t worker_stall_timeout_us = 0;
+  /// Supervisor poll period (only meaningful with the watchdog on).
+  std::uint64_t watchdog_interval_us = 1000;
 };
 
 enum class ServeStatus {
   kOk,
-  kShedQueueFull,  ///< global queue capacity reached
-  kShedModelBusy,  ///< this model's lane depth bound reached
-  kShutdown,       ///< submitted after/while shutting down
+  kShedQueueFull,      ///< global queue capacity reached
+  kShedModelBusy,      ///< this model's lane depth bound reached
+  kShutdown,           ///< submitted after/while shutting down
+  kDeadlineExceeded,   ///< expired before execution; shed unexecuted
+  kEngineError,        ///< execution failed; `error` carries the cause
 };
 
 const char* to_string(ServeStatus status) noexcept;
 
-/// One completed (or shed) request.
+/// Per-request submission knobs (the two-arg submit() overload uses
+/// the defaults: uv on, no deadline).
+struct SubmitOptions {
+  bool use_predictor = true;
+  /// Deadline relative to submit(), microseconds; past it the request
+  /// is shed as kDeadlineExceeded instead of executed. 0 = none.
+  std::uint64_t deadline_us = 0;
+};
+
+/// One completed (or shed/failed) request.
 struct ServeResult {
   ServeStatus status = ServeStatus::kOk;
   std::size_t model = 0;
   bool use_predictor = true;
-  SimResult result;            ///< empty when shed
+  SimResult result;            ///< empty when shed or failed
+  std::string error;           ///< kEngineError: the exception message
+  /// True when the fault framework's serve.result.corrupt point fired
+  /// on this request (its output is XORed with fault::kCorruptMask —
+  /// test observability for corruption-detection layers).
+  bool fault_corrupted = false;
   std::size_t batch_size = 0;  ///< micro-batch this request rode in
   BatchClose batch_close = BatchClose::kSize;
-  // Latency decomposition, microseconds (0 when shed):
+  // Latency decomposition, microseconds (0 when shed at admission):
   double queue_us = 0.0;  ///< enqueue → micro-batch close
   double exec_us = 0.0;   ///< micro-batch close → this result ready
   double total_us = 0.0;  ///< enqueue → this result ready
@@ -97,6 +168,10 @@ struct ServingStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
   std::uint64_t shed = 0;
+  std::uint64_t failed = 0;         ///< resolved kEngineError
+  std::uint64_t deadline_shed = 0;  ///< subset of `shed`
+  std::uint64_t retries = 0;        ///< compile-image retry attempts
+  std::uint64_t workers_restarted = 0;
   std::uint64_t batches = 0;
   std::uint64_t size_closes = 0;
   std::uint64_t timeout_closes = 0;
@@ -113,7 +188,7 @@ struct ServingStats {
                      : 0.0;
   }
   double mean_batch_size() const noexcept {
-    return batches ? static_cast<double>(completed) /
+    return batches ? static_cast<double>(completed + failed) /
                          static_cast<double>(batches)
                    : 0.0;
   }
@@ -135,14 +210,23 @@ class ServingFrontend {
                              const ArchParams& arch);
 
   /// Async inference: copies `input`, enqueues, returns the future.
-  /// Never blocks — overload resolves the future immediately with a
-  /// shed status instead. Thread-safe (any number of client threads).
+  /// Never blocks and never leaks an exception from the serving
+  /// stack — overload resolves the future immediately with a shed
+  /// status, and an admission-path failure resolves it with
+  /// kEngineError. Thread-safe (any number of client threads).
   std::future<ServeResult> submit(std::size_t model,
                                   std::span<const float> input,
-                                  bool use_predictor = true);
+                                  const SubmitOptions& submit_options);
+  std::future<ServeResult> submit(std::size_t model,
+                                  std::span<const float> input,
+                                  bool use_predictor = true) {
+    SubmitOptions o;
+    o.use_predictor = use_predictor;
+    return submit(model, input, o);
+  }
 
-  /// Stops admission, drains queued requests, joins the workers.
-  /// Idempotent; the destructor calls it.
+  /// Stops admission, drains queued requests, joins the workers (and
+  /// the watchdog). Idempotent; the destructor calls it.
   void shutdown();
 
   const ServingOptions& options() const noexcept { return options_; }
@@ -160,10 +244,28 @@ class ServingFrontend {
     const QuantizedNetwork* network;
     ArchParams arch;
   };
+  /// Per-worker supervision state. Stable address (owned via
+  /// unique_ptr) because the worker thread and the watchdog both hold
+  /// references across the workers_ vector growing.
+  struct Worker {
+    std::thread thread;
+    std::atomic<std::uint64_t> last_beat_us{0};
+    std::atomic<bool> busy{false};  ///< claimed a batch, not yet done
+    std::atomic<bool> lost{false};  ///< watchdog gave up on it
+  };
+  struct EngineSlot;  // worker-local backend cache (frontend.cpp)
 
-  void worker_main();
-  std::future<ServeResult> shed(std::size_t model, bool use_predictor,
-                                ServeStatus status);
+  void worker_main(Worker& self);
+  void process_batch(RequestQueue<Pending>::Batch& batch,
+                     std::map<std::string, EngineSlot>& backends,
+                     Worker& self);
+  void watchdog_main();
+  /// Appends and starts a worker; workers_mutex_ must be held.
+  void spawn_worker_locked();
+  std::future<ServeResult> resolve_now(std::size_t model,
+                                       bool use_predictor,
+                                       ServeStatus status,
+                                       std::string error = {});
 
   ServingOptions options_;
   ZooRegistry zoos_;
@@ -176,12 +278,23 @@ class ServingFrontend {
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t shed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t deadline_shed_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t workers_restarted_ = 0;
   std::uint64_t size_closes_ = 0;
   std::uint64_t timeout_closes_ = 0;
   std::uint64_t drain_closes_ = 0;
   std::vector<std::uint64_t> batch_size_counts_;
 
-  std::vector<std::thread> workers_;
+  mutable std::mutex workers_mutex_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;  ///< guarded by watchdog_mutex_
+  std::thread watchdog_;
+
   bool shut_down_ = false;  ///< guarded by models_mutex_
 };
 

@@ -29,9 +29,19 @@
 // CI jobs run the multi-producer/multi-consumer tests under
 // ASan+UBSan in both SIMD dispatch modes.
 //
+// Deadlines: try_push optionally carries an absolute per-request
+// deadline. The queue itself never drops a request — it hands the
+// deadline back in the Batch (parallel to items) so the *consumer*
+// sheds already-dead requests at batch-claim time — but lane claiming
+// is deadline-aware: a consumer holding a batch open waits only until
+// min(head enqueue + max_wait, head deadline), so a batch whose head
+// is about to die ships immediately instead of idling out the full
+// latency budget first.
+//
 // T must be movable; the queue stamps each item's enqueue time itself
 // (steady clock) so the timeout trigger measures true queue residence.
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -42,6 +52,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/fault.hpp"
 
 namespace sparsenn {
 
@@ -74,6 +85,9 @@ class RequestQueue {
     std::chrono::microseconds max_wait{200};  ///< latency budget
   };
 
+  /// Sentinel for "no deadline".
+  static constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
+
   struct Batch {
     std::uint64_t lane = 0;
     BatchClose close = BatchClose::kSize;
@@ -81,6 +95,9 @@ class RequestQueue {
     /// Each item's enqueue stamp (parallel to items) and the close
     /// stamp, for queueing-delay accounting downstream.
     std::vector<Clock::time_point> enqueued;
+    /// Each item's absolute deadline (parallel to items; kNoDeadline
+    /// when none) — the consumer sheds expired items at claim time.
+    std::vector<Clock::time_point> deadlines;
     Clock::time_point closed_at{};
   };
 
@@ -92,7 +109,15 @@ class RequestQueue {
 
   /// Non-blocking admission: sheds instead of waiting (the caller
   /// converts a shed into an immediate client-visible response).
-  PushOutcome try_push(std::uint64_t lane_id, T item) {
+  /// `deadline` is the request's absolute expiry (kNoDeadline = none);
+  /// it travels with the item and steers the consumer's batch-close
+  /// wait.
+  PushOutcome try_push(std::uint64_t lane_id, T item,
+                       Clock::time_point deadline = kNoDeadline) {
+    // Chaos hook, outside the lock: an injected delay models a slow
+    // admission path, an injected throw is contained by the caller
+    // (the frontend converts it into a failed-future response).
+    (void)fault::point("serve.queue.push");
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       if (closed_) return PushOutcome::kClosed;
@@ -105,7 +130,8 @@ class RequestQueue {
         ++shed_lane_full_;
         return PushOutcome::kShedLaneFull;
       }
-      lane.slots.push_back(Slot{std::move(item), Clock::now(), seq_++});
+      lane.slots.push_back(
+          Slot{std::move(item), Clock::now(), deadline, seq_++});
       ++total_;
       ++accepted_;
     }
@@ -145,10 +171,14 @@ class RequestQueue {
       if (closed_) {
         close = BatchClose::kDrain;
       } else if (lane->slots.size() < options_.max_batch) {
-        // Hold the batch open until the size trigger or the head
-        // request's latency budget expires — whichever first.
+        // Hold the batch open until the size trigger, the head
+        // request's latency budget, or the head request's own
+        // deadline expires — whichever first. A head about to die
+        // must ship now (to be shed by the consumer) rather than
+        // idle out the batching budget.
         const Clock::time_point deadline =
-            lane->slots.front().enqueued + options_.max_wait;
+            std::min(lane->slots.front().enqueued + options_.max_wait,
+                     lane->slots.front().deadline);
         const bool filled = work_cv_.wait_until(lock, deadline, [&] {
           return lane->slots.size() >= options_.max_batch || closed_;
         });
@@ -167,9 +197,11 @@ class RequestQueue {
           std::min(lane->slots.size(), options_.max_batch);
       batch.items.reserve(take);
       batch.enqueued.reserve(take);
+      batch.deadlines.reserve(take);
       for (std::size_t i = 0; i < take; ++i) {
         batch.items.push_back(std::move(lane->slots.front().item));
         batch.enqueued.push_back(lane->slots.front().enqueued);
+        batch.deadlines.push_back(lane->slots.front().deadline);
         lane->slots.pop_front();
       }
       total_ -= take;
@@ -228,6 +260,7 @@ class RequestQueue {
   struct Slot {
     T item;
     Clock::time_point enqueued;
+    Clock::time_point deadline;
     std::uint64_t seq;
   };
   struct Lane {

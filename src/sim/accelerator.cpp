@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/fault.hpp"
 #include "common/logging.hpp"
 #include "sim/result_arena.hpp"
 
@@ -57,6 +58,10 @@ void AcceleratorSim::run_into(const CompiledNetwork& compiled,
                               ValidationMode validation,
                               std::vector<std::int16_t>& input_scratch,
                               SimResult& out) {
+  // Chaos hook at the engine boundary (throw/delay only; result
+  // corruption is injected by the serving layer, which owns the
+  // client-visible result).
+  (void)fault::point("engine.run");
   expects(compiled.num_pes() == pes_.size(),
           "CompiledNetwork was built for a different PE count");
   expects(!compiled.stale(),

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/fault.hpp"
 #include "common/kernels.hpp"
 #include "sim/result_arena.hpp"
 #include "sim/trace.hpp"
@@ -36,6 +37,10 @@ void AnalyticEngine::run_into(const CompiledNetwork& compiled,
                               std::span<const float> input,
                               std::vector<std::int16_t>& input_scratch,
                               SimResult& out) {
+  // Chaos hook at the engine boundary (throw/delay only; result
+  // corruption is injected by the serving layer, which owns the
+  // client-visible result).
+  (void)fault::point("engine.run");
   expects(compiled.num_pes() == params_.num_pes,
           "CompiledNetwork was built for a different PE count");
   expects(!compiled.stale(),

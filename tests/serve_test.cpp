@@ -345,5 +345,68 @@ TEST(ServingFrontend, BatchSizeHistogramAccountsEveryBatch) {
   EXPECT_GT(stats.mean_batch_size(), 0.0);
 }
 
+TEST(ServingFrontend, DestructionWithQueuedWorkResolvesEveryFuture) {
+  // Destroying the frontend while requests are still queued (a long
+  // latency budget keeps them waiting for a batch to close) must not
+  // break a single promise: the drain-close path either executes or
+  // resolves each one, and get() never throws std::future_error.
+  const Fixture f = make_batch_fixture(16, /*seed=*/67);
+  std::vector<std::future<ServeResult>> futures;
+  {
+    ServingOptions options = serving_options(EngineKind::kAnalytic);
+    options.num_workers = 1;
+    options.max_batch = 16;
+    options.max_wait_us = 10'000'000;  // close only on size or drain
+    ServingFrontend frontend(options);
+    const std::size_t model =
+        frontend.register_model(f.network, tiny_arch());
+    for (std::size_t i = 0; i < f.data.size() - 1; ++i)
+      futures.push_back(frontend.submit(model, f.data.image(i)));
+    // Frontend destroyed here with 15 requests parked in the queue.
+  }
+  for (auto& fut : futures) {
+    const ServeResult r = fut.get();  // must not throw
+    EXPECT_TRUE(r.status == ServeStatus::kOk ||
+                r.status == ServeStatus::kShutdown)
+        << "unexpected status " << to_string(r.status);
+  }
+}
+
+TEST(ServingFrontend, ExpiredDeadlineIsShedBeforeExecution) {
+  // A request whose deadline has already passed when a worker claims
+  // it resolves kDeadlineExceeded without touching the engine, and the
+  // deadline-aware batch close ships it long before the lane's full
+  // latency budget.
+  const Fixture f = make_batch_fixture(2, /*seed=*/59);
+  ServingOptions options = serving_options(EngineKind::kAnalytic);
+  options.num_workers = 1;
+  options.max_batch = 8;
+  options.max_wait_us = 2'000'000;  // 2s budget the deadline undercuts
+  ServingFrontend frontend(options);
+  const std::size_t model = frontend.register_model(f.network, tiny_arch());
+
+  SubmitOptions expired;
+  expired.deadline_us = 1;  // expires before any worker can claim it
+  const auto start = std::chrono::steady_clock::now();
+  const ServeResult r =
+      frontend.submit(model, f.data.image(0), expired).get();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(r.status, ServeStatus::kDeadlineExceeded);
+  EXPECT_TRUE(r.result.layers.empty());
+  EXPECT_LT(elapsed, 1s) << "deadline did not cut the batch-close wait";
+
+  // Deadline-free traffic on the same lane is untouched.
+  SubmitOptions relaxed;
+  EXPECT_EQ(frontend.submit(model, f.data.image(1), relaxed).get().status,
+            ServeStatus::kOk);
+  frontend.shutdown();
+
+  const ServingStats stats = frontend.stats();
+  EXPECT_EQ(stats.deadline_shed, 1u);
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.submitted, stats.completed + stats.shed + stats.failed);
+}
+
 }  // namespace
 }  // namespace sparsenn
