@@ -24,7 +24,9 @@ std::string Config::env_name(const std::string& key) {
 std::optional<std::string> Config::raw(const std::string& key) const {
   if (const auto it = values_.find(key); it != values_.end())
     return it->second;
-  if (const char* env = std::getenv(env_name(key).c_str()))
+  // getenv suppression rationale: nothing in the process calls
+  // setenv; the environment is read-only after exec.
+  if (const char* env = std::getenv(env_name(key).c_str()))  // NOLINT(concurrency-mt-unsafe)
     return std::string{env};
   return std::nullopt;
 }

@@ -1,12 +1,12 @@
 #include "common/fault.hpp"
 
 #include <chrono>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/sync.hpp"
 
 namespace sparsenn::fault {
 
@@ -56,9 +56,10 @@ struct PointState {
 };
 
 struct Registry {
-  std::mutex mutex;
-  std::uint64_t seed = 0;
-  std::map<std::string, PointState, std::less<>> points;
+  sync::Mutex mutex;
+  std::uint64_t seed SPARSENN_GUARDED_BY(mutex) = 0;
+  std::map<std::string, PointState, std::less<>> points
+      SPARSENN_GUARDED_BY(mutex);
 };
 
 Registry& registry() {
@@ -83,7 +84,7 @@ void corrupt_i16(std::span<std::int16_t> values) noexcept {
 
 void arm(std::uint64_t seed) {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const sync::MutexLock lock(r.mutex);
   r.seed = seed;
   r.points.clear();
   detail::g_armed.store(true, std::memory_order_relaxed);
@@ -95,7 +96,7 @@ void add(FaultSpec spec) {
           "fault spec needs a trigger (probability, every_n or one_shot)");
   expects(spec.probability <= 1.0, "fault probability must be <= 1");
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const sync::MutexLock lock(r.mutex);
   expects(detail::g_armed.load(std::memory_order_relaxed),
           "arm() the fault registry before add()ing specs");
   r.points[spec.point].specs.push_back(ArmedSpec{std::move(spec), false});
@@ -103,7 +104,7 @@ void add(FaultSpec spec) {
 
 void disarm() {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const sync::MutexLock lock(r.mutex);
   detail::g_armed.store(false, std::memory_order_relaxed);
   r.points.clear();
   r.seed = 0;
@@ -115,13 +116,13 @@ bool armed() noexcept {
 
 std::uint64_t seed() noexcept {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const sync::MutexLock lock(r.mutex);
   return r.seed;
 }
 
 std::map<std::string, PointStats> snapshot() {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const sync::MutexLock lock(r.mutex);
   std::map<std::string, PointStats> out;
   for (const auto& [name, state] : r.points) out[name] = state.stats;
   return out;
@@ -129,7 +130,7 @@ std::map<std::string, PointStats> snapshot() {
 
 std::uint64_t total_fired() {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const sync::MutexLock lock(r.mutex);
   std::uint64_t total = 0;
   for (const auto& [name, state] : r.points) total += state.stats.fires();
   return total;
@@ -144,7 +145,7 @@ bool hit(std::string_view point_name) {
   std::string message;
   {
     Registry& r = registry();
-    const std::lock_guard<std::mutex> lock(r.mutex);
+    const sync::MutexLock lock(r.mutex);
     // Racing a disarm: treat as disarmed.
     if (!g_armed.load(std::memory_order_relaxed)) return false;
     const auto it = r.points.find(point_name);

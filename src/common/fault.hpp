@@ -38,7 +38,13 @@
 // Thread-safety: arm/disarm/add and the hit path serialise on one
 // registry mutex (the framework is only armed in tests); the armed
 // flag itself is a lock-free atomic so disarmed points never touch
-// the mutex.
+// the mutex. The registry state is SPARSENN_GUARDED_BY-annotated
+// (common/sync.hpp), so clang's -Wthread-safety proves the locking.
+//
+// Point names are strings, so a typo never fails to compile — it
+// silently never fires. The canonical name list lives in
+// common/fault_points.hpp and tools/lint/check_invariants.py enforces
+// that every src/ call site and every registry entry agree.
 
 #include <atomic>
 #include <cstdint>

@@ -632,7 +632,8 @@ std::atomic<bool> g_force_scalar{false};
 std::atomic<const KernelTable*> g_active{nullptr};
 
 bool env_forces_scalar() noexcept {
-  const char* env = std::getenv("SPARSENN_FORCE_SCALAR");
+  // Read once under the resolve() once-flag; no setenv in-process.
+  const char* env = std::getenv("SPARSENN_FORCE_SCALAR");  // NOLINT(concurrency-mt-unsafe)
   return env != nullptr && env[0] != '\0' &&
          !(env[0] == '0' && env[1] == '\0');
 }

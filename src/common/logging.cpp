@@ -6,7 +6,10 @@ namespace sparsenn {
 namespace {
 
 LogLevel initial_level() {
-  if (const char* env = std::getenv("SPARSENN_LOG")) {
+  // getenv is mt-unsafe only against a concurrent setenv; this runs
+  // once, from the level-atomic's initializer, before any worker
+  // thread exists.
+  if (const char* env = std::getenv("SPARSENN_LOG")) {  // NOLINT(concurrency-mt-unsafe)
     const std::string_view v{env};
     if (v == "trace") return LogLevel::kTrace;
     if (v == "debug") return LogLevel::kDebug;

@@ -23,9 +23,11 @@
 //     invalidates only that network's entries: get() drops same-uid
 //     entries whose epoch moved, other networks stay warm.
 //
-// Thread-safety: none. Owners serialise access (System and
-// ZooRegistry hold a mutex) and share the *returned image* read-only
-// across threads. get() hands out a shared_ptr that co-owns the
+// Thread-safety: none, *statically enforced at the owners*: System and
+// ZooRegistry declare their zoo/zoo-map members
+// SPARSENN_GUARDED_BY(their mutex) (common/sync.hpp), so clang's
+// -Wthread-safety proves every access to a zoo is serialised — the
+// returned image is shared read-only across threads. get() hands out a shared_ptr that co-owns the
 // image: eviction and invalidation only drop the zoo's own reference,
 // so an image held by an in-flight inference stays alive until that
 // inference releases it. (The pre-serving contract — "references are

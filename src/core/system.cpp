@@ -32,7 +32,7 @@ void System::prepare() {
   // A re-prepare()d network carries a fresh uid, so images compiled
   // from the previous one can never be served again (the zoo key is
   // (uid, epoch), not the address) — drop them eagerly.
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  const sync::MutexLock lock(cache_mutex_);
   zoo_.invalidate();
 }
 
@@ -153,7 +153,7 @@ void System::set_prediction_threshold(double threshold) {
   // The epoch bump above already marks this network's cached images
   // stale; drop them eagerly so a threshold sweep never holds dead
   // images across its K points.
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  const sync::MutexLock lock(cache_mutex_);
   zoo_.invalidate(quantized_->uid());
 }
 

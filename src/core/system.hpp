@@ -14,12 +14,12 @@
 // Examples and benches are thin wrappers over this type.
 
 #include <memory>
-#include <mutex>
 #include <optional>
 
 #include "arch/area.hpp"
 #include "arch/energy.hpp"
 #include "arch/params.hpp"
+#include "common/sync.hpp"
 #include "core/model_zoo.hpp"
 #include "data/dataset.hpp"
 #include "nn/quantized.hpp"
@@ -113,8 +113,9 @@ class System {
   /// observability for sweeps and tests (a threshold sweep of K points
   /// over both uv modes should compile at most 2·K images, not
   /// 2·K·samples).
-  std::uint64_t compiled_network_compile_count() const {
-    const std::lock_guard<std::mutex> lock(cache_mutex_);
+  std::uint64_t compiled_network_compile_count() const
+      SPARSENN_EXCLUDES(cache_mutex_) {
+    const sync::MutexLock lock(cache_mutex_);
     return zoo_.compile_count();
   }
 
@@ -139,11 +140,12 @@ class System {
   /// network itself (quantized_) must stay alive, which mutating calls
   /// (set_prediction_threshold, prepare) guarantee by not running
   /// concurrently with readers.
-  mutable std::mutex cache_mutex_;
-  mutable ModelZoo zoo_;
+  mutable sync::Mutex cache_mutex_;
+  mutable ModelZoo zoo_ SPARSENN_GUARDED_BY(cache_mutex_);
 
-  std::shared_ptr<const CompiledNetwork> compiled(bool use_predictor) const {
-    const std::lock_guard<std::mutex> lock(cache_mutex_);
+  std::shared_ptr<const CompiledNetwork> compiled(bool use_predictor) const
+      SPARSENN_EXCLUDES(cache_mutex_) {
+    const sync::MutexLock lock(cache_mutex_);
     return zoo_.get(*quantized_, use_predictor);
   }
 };

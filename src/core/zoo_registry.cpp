@@ -18,40 +18,40 @@ std::shared_ptr<const CompiledNetwork> ZooRegistry::get(
   // (or from zoo.compile below) is the serving tier's transient
   // compile-failure class — the frontend retries it with backoff.
   (void)fault::point("zoo.registry.get");
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   std::unique_ptr<ModelZoo>& zoo = zoos_[arch.cache_key()];
   if (!zoo) zoo = std::make_unique<ModelZoo>(arch, capacity_per_zoo_);
   return zoo->get(network, use_predictor);
 }
 
 std::size_t ZooRegistry::invalidate(std::uint64_t uid) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   std::size_t dropped = 0;
   for (auto& [key, zoo] : zoos_) dropped += zoo->invalidate(uid);
   return dropped;
 }
 
 std::size_t ZooRegistry::num_zoos() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   return zoos_.size();
 }
 
 std::uint64_t ZooRegistry::compile_count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   std::uint64_t total = 0;
   for (const auto& [key, zoo] : zoos_) total += zoo->compile_count();
   return total;
 }
 
 std::uint64_t ZooRegistry::hit_count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   std::uint64_t total = 0;
   for (const auto& [key, zoo] : zoos_) total += zoo->hit_count();
   return total;
 }
 
 std::uint64_t ZooRegistry::eviction_count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   std::uint64_t total = 0;
   for (const auto& [key, zoo] : zoos_) total += zoo->eviction_count();
   return total;

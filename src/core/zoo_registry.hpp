@@ -20,10 +20,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "arch/params.hpp"
+#include "common/sync.hpp"
 #include "core/model_zoo.hpp"
 #include "nn/quantized.hpp"
 
@@ -39,26 +39,31 @@ class ZooRegistry {
   /// returned pointer pins the image across eviction/invalidation.
   std::shared_ptr<const CompiledNetwork> get(const ArchParams& arch,
                                              const QuantizedNetwork& network,
-                                             bool use_predictor);
+                                             bool use_predictor)
+      SPARSENN_EXCLUDES(mutex_);
 
   /// Drops all of one network's images across every zoo; returns how
   /// many were dropped. (Pinned in-flight images stay alive.)
-  std::size_t invalidate(std::uint64_t uid);
+  std::size_t invalidate(std::uint64_t uid) SPARSENN_EXCLUDES(mutex_);
 
   /// Live per-arch zoos (== distinct cache keys fetched so far).
-  std::size_t num_zoos() const;
+  std::size_t num_zoos() const SPARSENN_EXCLUDES(mutex_);
 
   // Aggregated observability across all zoos.
-  std::uint64_t compile_count() const;
-  std::uint64_t hit_count() const;
-  std::uint64_t eviction_count() const;
+  std::uint64_t compile_count() const SPARSENN_EXCLUDES(mutex_);
+  std::uint64_t hit_count() const SPARSENN_EXCLUDES(mutex_);
+  std::uint64_t eviction_count() const SPARSENN_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::size_t capacity_per_zoo_;
+  mutable sync::Mutex mutex_;
+  std::size_t capacity_per_zoo_;  ///< immutable after construction
   /// Keyed on ArchParams::cache_key(). unique_ptr keeps zoo addresses
   /// stable across map rebalancing (ModelZoo is not movable anyway).
-  std::map<std::string, std::unique_ptr<ModelZoo>> zoos_;
+  /// The zoos themselves are unannotated single-threaded objects; the
+  /// GUARDED_BY contract on the map is what makes every fetch/compile
+  /// provably serialised.
+  std::map<std::string, std::unique_ptr<ModelZoo>> zoos_
+      SPARSENN_GUARDED_BY(mutex_);
 };
 
 }  // namespace sparsenn

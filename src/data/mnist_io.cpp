@@ -93,7 +93,9 @@ std::optional<DatasetSplit> load_mnist_directory(const std::string& dir) {
 }
 
 std::optional<std::string> configured_data_directory() {
-  if (const char* env = std::getenv("SPARSENN_DATA_DIR"))
+  // getenv suppression rationale: data loading happens on the main
+  // thread before the serving tier spins up, and nothing calls setenv.
+  if (const char* env = std::getenv("SPARSENN_DATA_DIR"))  // NOLINT(concurrency-mt-unsafe)
     return std::string{env};
   return std::nullopt;
 }

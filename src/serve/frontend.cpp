@@ -66,7 +66,7 @@ ServingFrontend::ServingFrontend(ServingOptions options)
   expects(options_.num_workers > 0, "need at least one serving worker");
   try {
     {
-      const std::lock_guard<std::mutex> lock(workers_mutex_);
+      const sync::MutexLock lock(workers_mutex_);
       workers_.reserve(options_.num_workers);
       for (std::size_t w = 0; w < options_.num_workers; ++w)
         spawn_worker_locked();
@@ -77,7 +77,7 @@ ServingFrontend::ServingFrontend(ServingOptions options)
     // Thread creation failed: stop and join what did start so no
     // joinable thread is ever destructed.
     queue_.shutdown();
-    const std::lock_guard<std::mutex> lock(workers_mutex_);
+    const sync::MutexLock lock(workers_mutex_);
     for (auto& w : workers_)
       if (w->thread.joinable()) w->thread.join();
     throw;
@@ -96,14 +96,14 @@ void ServingFrontend::spawn_worker_locked() {
 
 void ServingFrontend::shutdown() {
   {
-    const std::lock_guard<std::mutex> lock(models_mutex_);
+    const sync::MutexLock lock(models_mutex_);
     if (shut_down_) return;
     shut_down_ = true;
   }
   // Watchdog first: no replacement workers may spawn during teardown.
   if (watchdog_.joinable()) {
     {
-      const std::lock_guard<std::mutex> lock(watchdog_mutex_);
+      const sync::MutexLock lock(watchdog_mutex_);
       watchdog_stop_ = true;
     }
     watchdog_cv_.notify_all();
@@ -114,7 +114,7 @@ void ServingFrontend::shutdown() {
   // alike (a revived hung worker resolves its batch, then exits).
   std::vector<std::unique_ptr<Worker>> workers;
   {
-    const std::lock_guard<std::mutex> lock(workers_mutex_);
+    const sync::MutexLock lock(workers_mutex_);
     workers.swap(workers_);
   }
   for (auto& w : workers)
@@ -129,14 +129,14 @@ std::size_t ServingFrontend::register_model(const QuantizedNetwork& network,
                 network.layer(l).w.rows <= arch.max_activations(),
             "layer width exceeds the architecture's activation capacity");
   }
-  const std::lock_guard<std::mutex> lock(models_mutex_);
+  const sync::MutexLock lock(models_mutex_);
   expects(!shut_down_, "cannot register models after shutdown");
   models_.push_back(ModelEntry{&network, arch});
   return models_.size() - 1;
 }
 
 std::size_t ServingFrontend::num_models() const {
-  const std::lock_guard<std::mutex> lock(models_mutex_);
+  const sync::MutexLock lock(models_mutex_);
   return models_.size();
 }
 
@@ -147,6 +147,8 @@ std::future<ServeResult> ServingFrontend::resolve_now(std::size_t model,
   // Shedding (and admission-path failure) is a first-class response,
   // not an exception: the future resolves immediately so open-loop
   // clients account it as load turned away, with zero queue residence.
+  // submitted_ was already counted by submit() — only the outcome
+  // counter moves here.
   std::promise<ServeResult> promise;
   ServeResult out;
   out.status = status;
@@ -155,8 +157,7 @@ std::future<ServeResult> ServingFrontend::resolve_now(std::size_t model,
   out.error = std::move(error);
   promise.set_value(std::move(out));
   {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++submitted_;
+    const sync::MutexLock lock(stats_mutex_);
     if (status == ServeStatus::kEngineError)
       ++failed_;
     else
@@ -169,40 +170,55 @@ std::future<ServeResult> ServingFrontend::submit(
     std::size_t model, std::span<const float> input,
     const SubmitOptions& submit_options) {
   const bool use_predictor = submit_options.use_predictor;
+  bool reject_shut_down = false;
   {
-    const std::lock_guard<std::mutex> lock(models_mutex_);
+    const sync::MutexLock lock(models_mutex_);
     expects(model < models_.size(), "unknown model handle");
-    if (shut_down_)
-      return resolve_now(model, use_predictor, ServeStatus::kShutdown);
+    reject_shut_down = shut_down_;
   }
-  Pending pending;
-  pending.model = model;
-  pending.use_predictor = use_predictor;
-  pending.input.assign(input.begin(), input.end());
-  std::future<ServeResult> future = pending.promise.get_future();
-
-  const auto deadline =
-      submit_options.deadline_us > 0
-          ? RequestQueue<Pending>::Clock::now() +
-                std::chrono::microseconds(submit_options.deadline_us)
-          : RequestQueue<Pending>::kNoDeadline;
+  // Count the submission *before* the request can become visible to a
+  // worker: once try_push succeeds a worker may complete (and count)
+  // the request immediately, and counting submitted_ afterwards let a
+  // concurrent stats() observe completed + shed + failed > submitted —
+  // the exact-accounting invariant broken mid-flight. Flushed out by
+  // the PR-8 lock-annotation pass; tests/chaos_test.cpp samples the
+  // invariant live under a storm.
+  {
+    const sync::MutexLock lock(stats_mutex_);
+    ++submitted_;
+  }
+  if (reject_shut_down)
+    return resolve_now(model, use_predictor, ServeStatus::kShutdown);
+  std::future<ServeResult> future;
   PushOutcome outcome;
   try {
+    // Everything past the submitted_ count is inside the containment
+    // block: a throw anywhere here (input-copy allocation, an armed
+    // serve.queue.push fault ...) must resolve the already-counted
+    // request, never leak the exception or leave the accounting
+    // dangling.
+    Pending pending;
+    pending.model = model;
+    pending.use_predictor = use_predictor;
+    pending.input.assign(input.begin(), input.end());
+    future = pending.promise.get_future();
+
+    const auto deadline =
+        submit_options.deadline_us > 0
+            ? RequestQueue<Pending>::Clock::now() +
+                  std::chrono::microseconds(submit_options.deadline_us)
+            : RequestQueue<Pending>::kNoDeadline;
     outcome = queue_.try_push(lane_of(model, use_predictor),
                               std::move(pending), deadline);
   } catch (const std::exception& e) {
-    // Admission-path failure (e.g. an armed serve.queue.push throw, or
-    // an allocation failure): contained — the client gets a resolved
+    // Admission-path failure: contained — the client gets a resolved
     // failed future, never a leaked exception or a broken promise.
     return resolve_now(model, use_predictor, ServeStatus::kEngineError,
                        e.what());
   }
   switch (outcome) {
-    case PushOutcome::kAccepted: {
-      const std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++submitted_;
+    case PushOutcome::kAccepted:
       return future;
-    }
     case PushOutcome::kShedQueueFull:
       return resolve_now(model, use_predictor, ServeStatus::kShedQueueFull);
     case PushOutcome::kShedLaneFull:
@@ -272,7 +288,7 @@ void ServingFrontend::process_batch(
 
     ModelEntry entry{};
     {
-      const std::lock_guard<std::mutex> lock(models_mutex_);
+      const sync::MutexLock lock(models_mutex_);
       entry = models_[model_id];
     }
 
@@ -373,7 +389,7 @@ void ServingFrontend::process_batch(
   }
 
   {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    const sync::MutexLock lock(stats_mutex_);
     completed_ += ok;
     failed_ += failed;
     shed_ += dead;
@@ -392,7 +408,7 @@ void ServingFrontend::process_batch(
 void ServingFrontend::watchdog_main() {
   const auto interval =
       std::chrono::microseconds(options_.watchdog_interval_us);
-  std::unique_lock<std::mutex> lock(watchdog_mutex_);
+  sync::UniqueLock lock(watchdog_mutex_);
   while (!watchdog_stop_) {
     watchdog_cv_.wait_for(lock, interval);
     if (watchdog_stop_) break;
@@ -400,7 +416,7 @@ void ServingFrontend::watchdog_main() {
     const std::uint64_t bound = options_.worker_stall_timeout_us;
     std::size_t lost_now = 0;
     {
-      const std::lock_guard<std::mutex> workers_lock(workers_mutex_);
+      const sync::MutexLock workers_lock(workers_mutex_);
       for (auto& w : workers_) {
         if (w->lost.load(std::memory_order_acquire)) continue;
         if (!w->busy.load(std::memory_order_acquire)) continue;
@@ -418,7 +434,7 @@ void ServingFrontend::watchdog_main() {
       for (std::size_t s = 0; s < lost_now; ++s) spawn_worker_locked();
     }
     if (lost_now > 0) {
-      const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      const sync::MutexLock stats_lock(stats_mutex_);
       workers_restarted_ += lost_now;
     }
   }
@@ -427,7 +443,7 @@ void ServingFrontend::watchdog_main() {
 ServingStats ServingFrontend::stats() const {
   ServingStats out;
   {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    const sync::MutexLock lock(stats_mutex_);
     out.submitted = submitted_;
     out.completed = completed_;
     out.shed = shed_;

@@ -77,12 +77,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
@@ -90,6 +88,7 @@
 
 #include "arch/params.hpp"
 #include "common/stats.hpp"
+#include "common/sync.hpp"
 #include "core/zoo_registry.hpp"
 #include "nn/quantized.hpp"
 #include "serve/request_queue.hpp"
@@ -260,42 +259,55 @@ class ServingFrontend {
                      std::map<std::string, EngineSlot>& backends,
                      Worker& self);
   void watchdog_main();
-  /// Appends and starts a worker; workers_mutex_ must be held.
-  void spawn_worker_locked();
+  /// Appends and starts a worker.
+  void spawn_worker_locked() SPARSENN_REQUIRES(workers_mutex_);
+  /// Resolves a future immediately (shed / admission failure). The
+  /// caller has already counted the request into submitted_; this only
+  /// bumps the outcome counter (shed_ or failed_).
   std::future<ServeResult> resolve_now(std::size_t model,
                                        bool use_predictor,
                                        ServeStatus status,
-                                       std::string error = {});
+                                       std::string error = {})
+      SPARSENN_EXCLUDES(stats_mutex_);
+
+  // Lock order (outermost first, never reversed):
+  //   watchdog_mutex_ → workers_mutex_ | stats_mutex_
+  //   models_mutex_ and stats_mutex_ are leaves (nothing is acquired
+  //   under them). The thread-safety analysis proves each field's
+  //   guard below; the order itself is prose — clang has no
+  //   lock-ordering capability — so keep this comment honest.
 
   ServingOptions options_;
   ZooRegistry zoos_;
   RequestQueue<Pending> queue_;
 
-  mutable std::mutex models_mutex_;
-  std::vector<ModelEntry> models_;
+  mutable sync::Mutex models_mutex_;
+  std::vector<ModelEntry> models_ SPARSENN_GUARDED_BY(models_mutex_);
 
-  mutable std::mutex stats_mutex_;
-  std::uint64_t submitted_ = 0;
-  std::uint64_t completed_ = 0;
-  std::uint64_t shed_ = 0;
-  std::uint64_t failed_ = 0;
-  std::uint64_t deadline_shed_ = 0;
-  std::uint64_t retries_ = 0;
-  std::uint64_t workers_restarted_ = 0;
-  std::uint64_t size_closes_ = 0;
-  std::uint64_t timeout_closes_ = 0;
-  std::uint64_t drain_closes_ = 0;
-  std::vector<std::uint64_t> batch_size_counts_;
+  mutable sync::Mutex stats_mutex_;
+  std::uint64_t submitted_ SPARSENN_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t completed_ SPARSENN_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t shed_ SPARSENN_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t failed_ SPARSENN_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t deadline_shed_ SPARSENN_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t retries_ SPARSENN_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t workers_restarted_ SPARSENN_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t size_closes_ SPARSENN_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t timeout_closes_ SPARSENN_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t drain_closes_ SPARSENN_GUARDED_BY(stats_mutex_) = 0;
+  std::vector<std::uint64_t> batch_size_counts_
+      SPARSENN_GUARDED_BY(stats_mutex_);
 
-  mutable std::mutex workers_mutex_;
-  std::vector<std::unique_ptr<Worker>> workers_;
+  mutable sync::Mutex workers_mutex_;
+  std::vector<std::unique_ptr<Worker>> workers_
+      SPARSENN_GUARDED_BY(workers_mutex_);
 
-  std::mutex watchdog_mutex_;
-  std::condition_variable watchdog_cv_;
-  bool watchdog_stop_ = false;  ///< guarded by watchdog_mutex_
+  sync::Mutex watchdog_mutex_;
+  sync::CondVar watchdog_cv_;
+  bool watchdog_stop_ SPARSENN_GUARDED_BY(watchdog_mutex_) = false;
   std::thread watchdog_;
 
-  bool shut_down_ = false;  ///< guarded by models_mutex_
+  bool shut_down_ SPARSENN_GUARDED_BY(models_mutex_) = false;
 };
 
 }  // namespace sparsenn

@@ -24,10 +24,12 @@
 // in_service flag), so two workers never co-assemble one lane; lanes
 // are claimed oldest-head-first, which keeps cross-model service
 // order globally FIFO-ish under mixed traffic. All state lives under
-// one mutex with two condition variables (producer-side none — push
-// never blocks; consumer-side work/close signalling); the sanitizer
-// CI jobs run the multi-producer/multi-consumer tests under
-// ASan+UBSan in both SIMD dispatch modes.
+// one mutex with one consumer-side condition variable (producer-side
+// none — push never blocks); the locking contract is *static*: every
+// field is SPARSENN_GUARDED_BY(mutex_) and clang's -Wthread-safety
+// proves every access holds it (common/sync.hpp), on top of the
+// sanitizer CI jobs running the multi-producer/multi-consumer tests
+// under ASan+UBSan and TSan.
 //
 // Deadlines: try_push optionally carries an absolute per-request
 // deadline. The queue itself never drops a request — it hands the
@@ -43,16 +45,15 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/fault.hpp"
+#include "common/sync.hpp"
 
 namespace sparsenn {
 
@@ -113,13 +114,14 @@ class RequestQueue {
   /// it travels with the item and steers the consumer's batch-close
   /// wait.
   PushOutcome try_push(std::uint64_t lane_id, T item,
-                       Clock::time_point deadline = kNoDeadline) {
+                       Clock::time_point deadline = kNoDeadline)
+      SPARSENN_EXCLUDES(mutex_) {
     // Chaos hook, outside the lock: an injected delay models a slow
     // admission path, an injected throw is contained by the caller
     // (the frontend converts it into a failed-future response).
     (void)fault::point("serve.queue.push");
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const sync::MutexLock lock(mutex_);
       if (closed_) return PushOutcome::kClosed;
       if (total_ >= options_.capacity) {
         ++shed_queue_full_;
@@ -145,8 +147,8 @@ class RequestQueue {
   /// Blocks until a micro-batch closes (size/timeout/drain trigger) or
   /// the queue is closed AND empty — then nullopt, telling the worker
   /// to exit. Safe for any number of concurrent consumers.
-  std::optional<Batch> next_batch() {
-    std::unique_lock<std::mutex> lock(mutex_);
+  std::optional<Batch> next_batch() SPARSENN_EXCLUDES(mutex_) {
+    sync::UniqueLock lock(mutex_);
     for (;;) {
       Lane* lane = nullptr;
       std::uint64_t lane_id = 0;
@@ -175,16 +177,22 @@ class RequestQueue {
         // request's latency budget, or the head request's own
         // deadline expires — whichever first. A head about to die
         // must ship now (to be shed by the consumer) rather than
-        // idle out the batching budget.
+        // idle out the batching budget. The wait loop is hand-rolled
+        // (no predicate lambda) so the guarded reads stay inside this
+        // annotated function for the thread-safety analysis; the
+        // semantics match wait_until-with-predicate exactly.
         const Clock::time_point deadline =
             std::min(lane->slots.front().enqueued + options_.max_wait,
                      lane->slots.front().deadline);
-        const bool filled = work_cv_.wait_until(lock, deadline, [&] {
-          return lane->slots.size() >= options_.max_batch || closed_;
-        });
+        while (lane->slots.size() < options_.max_batch && !closed_) {
+          if (work_cv_.wait_until(lock, deadline) ==
+              std::cv_status::timeout) {
+            break;
+          }
+        }
         if (closed_) {
           close = BatchClose::kDrain;
-        } else if (!filled) {
+        } else if (lane->slots.size() < options_.max_batch) {
           close = BatchClose::kTimeout;
         }
       }
@@ -220,39 +228,40 @@ class RequestQueue {
 
   /// Stops admission and wakes every consumer; queued requests still
   /// drain as kDrain batches, then next_batch() returns nullopt.
-  void shutdown() {
+  void shutdown() SPARSENN_EXCLUDES(mutex_) {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const sync::MutexLock lock(mutex_);
       closed_ = true;
     }
     work_cv_.notify_all();
   }
 
-  std::size_t size() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t size() const SPARSENN_EXCLUDES(mutex_) {
+    const sync::MutexLock lock(mutex_);
     return total_;
   }
-  std::size_t lane_depth(std::uint64_t lane_id) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t lane_depth(std::uint64_t lane_id) const
+      SPARSENN_EXCLUDES(mutex_) {
+    const sync::MutexLock lock(mutex_);
     const auto it = lanes_.find(lane_id);
     return it == lanes_.end() ? 0 : it->second.slots.size();
   }
 
   // Admission counters (monotone; read for shed-rate reporting).
-  std::uint64_t accepted() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t accepted() const SPARSENN_EXCLUDES(mutex_) {
+    const sync::MutexLock lock(mutex_);
     return accepted_;
   }
-  std::uint64_t shed_queue_full() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t shed_queue_full() const SPARSENN_EXCLUDES(mutex_) {
+    const sync::MutexLock lock(mutex_);
     return shed_queue_full_;
   }
-  std::uint64_t shed_lane_full() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t shed_lane_full() const SPARSENN_EXCLUDES(mutex_) {
+    const sync::MutexLock lock(mutex_);
     return shed_lane_full_;
   }
-  std::uint64_t batches() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t batches() const SPARSENN_EXCLUDES(mutex_) {
+    const sync::MutexLock lock(mutex_);
     return batches_;
   }
 
@@ -268,17 +277,17 @@ class RequestQueue {
     bool in_service = false;
   };
 
-  Options options_;
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::map<std::uint64_t, Lane> lanes_;
-  std::size_t total_ = 0;
-  std::uint64_t seq_ = 0;
-  bool closed_ = false;
-  std::uint64_t accepted_ = 0;
-  std::uint64_t shed_queue_full_ = 0;
-  std::uint64_t shed_lane_full_ = 0;
-  std::uint64_t batches_ = 0;
+  Options options_;  ///< immutable after construction — no guard
+  mutable sync::Mutex mutex_;
+  sync::CondVar work_cv_;
+  std::map<std::uint64_t, Lane> lanes_ SPARSENN_GUARDED_BY(mutex_);
+  std::size_t total_ SPARSENN_GUARDED_BY(mutex_) = 0;
+  std::uint64_t seq_ SPARSENN_GUARDED_BY(mutex_) = 0;
+  bool closed_ SPARSENN_GUARDED_BY(mutex_) = false;
+  std::uint64_t accepted_ SPARSENN_GUARDED_BY(mutex_) = 0;
+  std::uint64_t shed_queue_full_ SPARSENN_GUARDED_BY(mutex_) = 0;
+  std::uint64_t shed_lane_full_ SPARSENN_GUARDED_BY(mutex_) = 0;
+  std::uint64_t batches_ SPARSENN_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace sparsenn

@@ -5,10 +5,10 @@
 #include <chrono>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "common/check.hpp"
+#include "common/sync.hpp"
 #include "sim/result_arena.hpp"
 
 namespace sparsenn {
@@ -140,8 +140,12 @@ BatchResult BatchRunner::run(const CompiledNetwork& compiled,
   // scaling the redundant golden recomputation with the pool size).
   std::atomic<bool> batch_validated{false};
   std::atomic<std::size_t> validated_count{0};
-  std::mutex error_mutex;
-  std::exception_ptr error;
+  // First-error slot: a local struct so the GUARDED_BY contract is
+  // statically checked even for this function-scoped mutex.
+  struct ErrorSlot {
+    sync::Mutex mutex;
+    std::exception_ptr first SPARSENN_GUARDED_BY(mutex);
+  } error_slot;
 
   const auto worker = [&](std::size_t worker_id) {
     // One private engine per worker: backends carry per-inference
@@ -183,8 +187,8 @@ BatchResult BatchRunner::run(const CompiledNetwork& compiled,
       }
     } catch (...) {
       {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) error = std::current_exception();
+        const sync::MutexLock lock(error_slot.mutex);
+        if (!error_slot.first) error_slot.first = std::current_exception();
       }
       cursor.store(total, std::memory_order_relaxed);  // stop the others
     }
@@ -210,7 +214,12 @@ BatchResult BatchRunner::run(const CompiledNetwork& compiled,
     for (std::thread& t : pool) t.join();
   }
   const auto stop = std::chrono::steady_clock::now();
-  if (error) std::rethrow_exception(error);
+  {
+    // All workers are joined; the lock is uncontended and keeps the
+    // read inside the static contract.
+    const sync::MutexLock lock(error_slot.mutex);
+    if (error_slot.first) std::rethrow_exception(error_slot.first);
+  }
 
   BatchResult out;
   out.num_inferences = total;

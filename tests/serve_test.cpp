@@ -7,15 +7,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <future>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "serve/frontend.hpp"
 #include "serve/request_queue.hpp"
 #include "sim/compiled_network.hpp"
@@ -144,13 +145,18 @@ TEST(RequestQueue, ManyProducersManyConsumersLoseNothing) {
     });
   }
   std::vector<std::thread> consumers;
-  std::mutex seen_mutex;
-  std::vector<int> seen;
+  // Local struct (not two locals) so the GUARDED_BY contract between
+  // the mutex and the vector is statically checked under clang TSA.
+  struct Seen {
+    sync::Mutex mutex;
+    std::vector<int> items SPARSENN_GUARDED_BY(mutex);
+  } seen;
   for (int c = 0; c < 3; ++c) {
     consumers.emplace_back([&] {
       while (const auto batch = q.next_batch()) {
-        const std::lock_guard<std::mutex> lock(seen_mutex);
-        seen.insert(seen.end(), batch->items.begin(), batch->items.end());
+        const sync::MutexLock lock(seen.mutex);
+        seen.items.insert(seen.items.end(), batch->items.begin(),
+                          batch->items.end());
       }
     });
   }
@@ -158,11 +164,12 @@ TEST(RequestQueue, ManyProducersManyConsumersLoseNothing) {
   q.shutdown();
   for (auto& t : consumers) t.join();
 
-  ASSERT_EQ(seen.size(),
+  const sync::MutexLock lock(seen.mutex);
+  ASSERT_EQ(seen.items.size(),
             static_cast<std::size_t>(kProducers * kPerProducer));
-  std::sort(seen.begin(), seen.end());
+  std::sort(seen.items.begin(), seen.items.end());
   for (int i = 0; i < kProducers * kPerProducer; ++i)
-    ASSERT_EQ(seen[static_cast<std::size_t>(i)], i);
+    ASSERT_EQ(seen.items[static_cast<std::size_t>(i)], i);
 }
 
 // ---------------------------------------------------------------------------
@@ -406,6 +413,48 @@ TEST(ServingFrontend, ExpiredDeadlineIsShedBeforeExecution) {
   EXPECT_EQ(stats.shed, 1u);
   EXPECT_EQ(stats.completed, 1u);
   EXPECT_EQ(stats.submitted, stats.completed + stats.shed + stats.failed);
+}
+
+TEST(ServingFrontend, LiveStatsNeverShowMoreResolvedThanSubmitted) {
+  // Regression (found by the thread-safety annotation pass): submit()
+  // used to count `submitted` only *after* queue_.try_push, so a fast
+  // worker could complete — and count — the request first, and a
+  // concurrent stats() snapshot transiently showed
+  // completed + shed + failed > submitted. The count now lands before
+  // the push; every live snapshot must satisfy the ledger inequality.
+  const Fixture f = make_batch_fixture(8, /*seed=*/91);
+  ServingOptions options = serving_options(EngineKind::kAnalytic);
+  options.max_wait_us = 100;
+  ServingFrontend frontend(options);
+  const std::size_t model = frontend.register_model(f.network, tiny_arch());
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> violated{false};
+  std::thread sampler([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const ServingStats s = frontend.stats();
+      if (s.completed + s.shed + s.failed > s.submitted)
+        violated.store(true, std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+  });
+
+  constexpr std::size_t kRequests = 600;
+  std::vector<std::future<ServeResult>> futures;
+  futures.reserve(kRequests);
+  for (std::size_t r = 0; r < kRequests; ++r)
+    futures.push_back(
+        frontend.submit(model, f.data.image(r % f.data.size())));
+  for (auto& future : futures) (void)future.get();
+  done.store(true, std::memory_order_relaxed);
+  sampler.join();
+
+  EXPECT_FALSE(violated.load())
+      << "a stats() snapshot showed completed + shed + failed > submitted";
+  frontend.shutdown();
+  const ServingStats stats = frontend.stats();
+  EXPECT_EQ(stats.submitted, kRequests);
+  EXPECT_EQ(stats.completed + stats.shed + stats.failed, kRequests);
 }
 
 }  // namespace
