@@ -4,7 +4,7 @@
 //   ./sim_throughput [--samples n] [--hidden h] [--uv on|off]
 //                    [--json-out path]
 //
-// Five engines run the same inputs (the analytic one through its
+// Seven engines run the same inputs (the analytic one through its
 // own backend, the rest through the same AcceleratorSim):
 //
 //   "per_inference" — the seed engine's work profile: the network's
@@ -13,13 +13,28 @@
 //     (AcceleratorSim::run(network, ...)); this is also exactly what a
 //     repeated System::simulate() sweep cost before the system-level
 //     compiled-image cache (today's ModelZoo) existed. This engine
-//     runs with macro-stepping disabled (pure per-cycle ticking), so
-//     the bit_identical assertion below also pins the macro-stepped
-//     engines against the per-cycle reference on every sample;
+//     runs with SteppingMode::kPerCycle (pure ticking), so the
+//     bit_identical assertion below also pins the macro-stepped and
+//     event-driven engines against the per-cycle reference on every
+//     sample;
 //
 //   "compiled" — the network is compiled once (CompiledNetwork), the
 //     first inference runs with ValidationMode::kFull, and the rest
-//     run with validation off;
+//     run with validation off (default stepping — the event core);
+//
+//   "macro_engine" — the same compiled image under
+//     SteppingMode::kMacro: the PR 5 macro-window baseline the event
+//     core's speedup is gated against. Its timing windows are
+//     interleaved round-robin with event_engine's so machine noise
+//     lands on both sides of the gated ratio equally;
+//
+//   "event_engine" — the same compiled image under
+//     SteppingMode::kEvent, single-threaded. Reports inf/s plus the
+//     wake-list economics (events_executed vs cycles_ticked and their
+//     ratio) and "event_bit_identical"; CI gates "event_speedup"
+//     (event vs macro inf/s) >= 1.5 and the bit-identity flag. A
+//     "sim_threads_scaling" sweep then re-runs it at 1,2,4,…,HW shard
+//     threads — every point must stay bit-identical too;
 //
 //   "cached_sweep" — the System::simulate() sweep profile today: every
 //     inference fetches the image from a ModelZoo (always
@@ -182,7 +197,7 @@ int main(int argc, char** argv) {
     EngineStats per_inference;
     {
       AcceleratorSim per_cycle_sim(arch);
-      per_cycle_sim.set_macro_stepping(false);
+      per_cycle_sim.set_stepping_mode(SteppingMode::kPerCycle);
       const std::uint64_t allocs_before = g_allocs.load();
       const auto start = clock::now();
       for (const Vector& x : inputs)
@@ -217,6 +232,97 @@ int main(int argc, char** argv) {
           std::chrono::duration<double>(clock::now() - start).count();
       compiled_stats.allocs = g_allocs.load() - allocs_before;
       compiled_stats.samples = samples;
+    }
+
+    // ---- macro-stepped (PR 5 baseline) vs event-driven engines ----
+    // CI gates the event/macro rate ratio, so the two timing windows
+    // must see the same machine: the rounds alternate between the
+    // engines, so frequency drift and scheduler noise land on both
+    // sides equally instead of skewing whichever engine ran second,
+    // and each side's window is widened to ride out noise at the
+    // small --samples CI uses.
+    EngineStats macro_stats;
+    EngineStats event_stats;
+    bool event_identical = true;
+    EventCore::Stats event_core_stats;
+    struct ThreadPoint {
+      std::size_t threads = 0;
+      double inf_per_sec = 0.0;
+    };
+    std::vector<ThreadPoint> event_thread_scaling;
+    {
+      const CompiledNetwork compiled(quantized, arch, use_predictor);
+      AcceleratorSim macro_sim(arch);
+      macro_sim.set_stepping_mode(SteppingMode::kMacro);
+      AcceleratorSim event_sim(arch);
+      event_sim.set_stepping_mode(SteppingMode::kEvent);
+      // Warm-up grows both engines' scratch to steady capacity.
+      identical = identical &&
+                  macro_sim.run(compiled, inputs[0], ValidationMode::kOff) ==
+                      reference[0];
+      event_identical =
+          event_sim.run(compiled, inputs[0], ValidationMode::kOff) ==
+          reference[0];
+      // The wake-list economics (event_core_stats) are reported for a
+      // single pass over the distinct inputs, not inflated by rounds.
+      const std::size_t rounds = std::max<std::size_t>(1, 64 / samples);
+      event_sim.reset_event_core_stats();
+      for (std::size_t round = 0; round < rounds; ++round) {
+        {
+          const std::uint64_t a0 = g_allocs.load();
+          const auto t0 = clock::now();
+          for (std::size_t i = 0; i < samples; ++i) {
+            const SimResult r =
+                macro_sim.run(compiled, inputs[i], ValidationMode::kOff);
+            macro_stats.cycles += r.total_cycles;
+            identical = identical && r == reference[i];
+          }
+          macro_stats.wall_seconds +=
+              std::chrono::duration<double>(clock::now() - t0).count();
+          macro_stats.allocs += g_allocs.load() - a0;
+        }
+        {
+          const std::uint64_t a0 = g_allocs.load();
+          const auto t0 = clock::now();
+          for (std::size_t i = 0; i < samples; ++i) {
+            const SimResult r =
+                event_sim.run(compiled, inputs[i], ValidationMode::kOff);
+            event_stats.cycles += r.total_cycles;
+            event_identical = event_identical && r == reference[i];
+          }
+          event_stats.wall_seconds +=
+              std::chrono::duration<double>(clock::now() - t0).count();
+          event_stats.allocs += g_allocs.load() - a0;
+          if (round == 0) event_core_stats = event_sim.event_core_stats();
+        }
+      }
+      macro_stats.samples = samples * rounds;
+      event_stats.samples = samples * rounds;
+
+      // Shard-thread sweep: wall-clock only — every point re-checked
+      // bit-identical against the per-cycle reference.
+      const std::size_t hw = std::max<std::size_t>(
+          1, std::thread::hardware_concurrency());
+      std::vector<std::size_t> thread_counts;
+      for (std::size_t t = 1; t < hw; t *= 2) thread_counts.push_back(t);
+      thread_counts.push_back(hw);
+      for (const std::size_t threads : thread_counts) {
+        event_sim.set_sim_options(
+            SimOptions{.stepping = SteppingMode::kEvent,
+                       .sim_threads = threads});
+        const auto t0 = clock::now();
+        for (std::size_t i = 0; i < samples; ++i) {
+          const SimResult r =
+              event_sim.run(compiled, inputs[i], ValidationMode::kOff);
+          event_identical = event_identical && r == reference[i];
+        }
+        const double secs =
+            std::chrono::duration<double>(clock::now() - t0).count();
+        event_thread_scaling.push_back(
+            {threads, secs > 0.0 ? static_cast<double>(samples) / secs
+                                 : 0.0});
+      }
+      identical = identical && event_identical;
     }
 
     // ---- cached single-shot sweep (System::simulate profile) ----
@@ -388,6 +494,16 @@ int main(int argc, char** argv) {
     const double analytic_speedup =
         ratio(analytic_stats.inferences_per_sec(),
               compiled_stats.inferences_per_sec());
+    // Single-threaded event core vs the macro-window baseline — the
+    // tentpole win, CI-gated >= 1.5.
+    const double event_speedup =
+        ratio(event_stats.inferences_per_sec(),
+              macro_stats.inferences_per_sec());
+    const double event_cycle_ratio =
+        event_core_stats.cycles_ticked > 0
+            ? static_cast<double>(event_core_stats.events_executed) /
+                  static_cast<double>(event_core_stats.cycles_ticked)
+            : 0.0;
 
     std::string json;
     {
@@ -400,6 +516,21 @@ int main(int argc, char** argv) {
       os << ",\n";
       print_engine(os, "compiled", compiled_stats);
       os << ",\n";
+      print_engine(os, "macro_engine", macro_stats);
+      os << ",\n";
+      print_engine(os, "event_engine", event_stats);
+      os << ",\n  \"event_core\": {\"events_executed\": "
+         << event_core_stats.events_executed
+         << ", \"cycles_ticked\": " << event_core_stats.cycles_ticked
+         << ", \"event_cycle_ratio\": " << event_cycle_ratio << "}";
+      os << ",\n  \"sim_threads_scaling\": [";
+      for (std::size_t i = 0; i < event_thread_scaling.size(); ++i) {
+        os << (i ? ", " : "")
+           << "{\"threads\": " << event_thread_scaling[i].threads
+           << ", \"inferences_per_sec\": "
+           << event_thread_scaling[i].inf_per_sec << "}";
+      }
+      os << "],\n";
       print_engine(os, "cached_sweep", cached_stats);
       os << ",\n";
       print_engine(os, "arena", arena_stats);
@@ -408,6 +539,9 @@ int main(int argc, char** argv) {
       os << ",\n  \"speedup\": " << speedup
          << ",\n  \"cached_sweep_speedup\": " << cached_sweep_speedup
          << ",\n  \"analytic_speedup\": " << analytic_speedup
+         << ",\n  \"event_speedup\": " << event_speedup
+         << ",\n  \"event_bit_identical\": "
+         << (event_identical ? "true" : "false")
          << ",\n  \"analytic_bit_exact\": "
          << (analytic_exact ? "true" : "false")
          << ",\n  \"arena_allocs_per_inference\": "
@@ -432,6 +566,11 @@ int main(int argc, char** argv) {
     if (!identical) {
       std::cerr << "error: an engine diverged from the per-inference "
                    "engine\n";
+      return 1;
+    }
+    if (!event_identical) {
+      std::cerr << "error: the event-driven engine diverged from the "
+                   "per-cycle reference\n";
       return 1;
     }
     if (!analytic_exact) {

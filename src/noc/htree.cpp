@@ -68,6 +68,7 @@ void UpwardTree::reset() {
     for (auto& out : tier) out.reset();
   buffered_total_ = 0;
   last_step_transferred_ = true;
+  last_step_quiet_ = false;
 }
 
 void UpwardTree::skip_idle(std::uint64_t k) {
@@ -101,6 +102,18 @@ void UpwardTree::skip_stalled(std::uint64_t k) {
     for (Router& router : tier) router.skip_stalled(k);
 }
 
+bool UpwardTree::credits_quiet() const {
+  for (const auto& tier : levels_)
+    for (const Router& router : tier)
+      if (!router.credits_quiet()) return false;
+  return true;
+}
+
+void UpwardTree::skip_waiting(std::uint64_t k) {
+  for (auto& tier : levels_)
+    for (Router& router : tier) router.skip_waiting(k);
+}
+
 void UpwardTree::close_injector(std::size_t pe) {
   expects(pe < num_pes_, "PE id out of range");
   levels_.front()[pe / radix_].set_port_closed(pe % radix_, true);
@@ -112,6 +125,7 @@ std::optional<Flit> UpwardTree::step(bool root_ready) {
   // decisions land in scratch buffers preallocated at construction.
   auto& outputs = outputs_scratch_;
   bool transferred = false;
+  bool decided = false;
   for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {
     auto& tier = levels_[lvl];
     const bool is_root = (lvl + 1 == levels_.size());
@@ -129,6 +143,7 @@ std::optional<Flit> UpwardTree::step(bool root_ready) {
                         parent_port_[lvl + 1][i]);
       outputs[lvl][i] = tier[i].step(parent_ready);
       transferred = transferred || outputs[lvl][i].has_value();
+      decided = decided || tier[i].last_step_decided();
     }
   }
   last_step_transferred_ = transferred;
@@ -144,18 +159,28 @@ std::optional<Flit> UpwardTree::step(bool root_ready) {
   }
 
   // In accumulate mode, propagate drained-subtree closure upward so a
-  // parent's ACC does not wait for children that will never send.
+  // parent's ACC does not wait for children that will never send. A
+  // closure that flips a parent port from open to closed can enable
+  // that parent's ACC on the next cycle, so it disqualifies this step
+  // from being a pure wait cycle (re-closing an already-closed port is
+  // a no-op and stays quiet).
+  bool closure_changed = false;
   if (root().mode() == RouterMode::kAccumulate) {
     for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
       for (std::size_t i = 0; i < levels_[lvl].size(); ++i) {
         const Router& child = levels_[lvl][i];
         if (child.idle() && child.all_closed() && !outputs[lvl][i]) {
-          levels_[lvl + 1][parent_idx_[lvl + 1][i]].set_port_closed(
-              parent_port_[lvl + 1][i], true);
+          Router& parent = levels_[lvl + 1][parent_idx_[lvl + 1][i]];
+          const std::uint32_t port = parent_port_[lvl + 1][i];
+          if (!parent.port_closed(port)) {
+            parent.set_port_closed(port, true);
+            closure_changed = true;
+          }
         }
       }
     }
   }
+  last_step_quiet_ = !decided && !closure_changed;
 
   // Re-derive the buffered total inside the commit pass; each router's
   // own count is maintained O(1), so idle() stays a single comparison.

@@ -86,6 +86,26 @@ class UpwardTree {
     return last_step_transferred_;
   }
 
+  /// True when the last step() was a pure wait cycle: no router made an
+  /// output decision (not even one cancelled by a closed parent credit
+  /// window — a cancelled ACC still charges acc_operations and a
+  /// credit stall) and no closure flag was newly propagated. Because
+  /// router decisions are pure functions of buffer/closure/credit
+  /// state, a quiet step with frozen inputs proves every following
+  /// cycle is quiet too until an injection or credit expiry changes the
+  /// state — the event core's wait-skip window rests on this.
+  bool last_step_quiet() const noexcept { return last_step_quiet_; }
+
+  /// True when no credit anywhere in the tree is still travelling back
+  /// to a child (trivially true for the buffered latency-1 default).
+  bool credits_quiet() const;
+
+  /// Advances `k` pure wait cycles verified by last_step_quiet() plus
+  /// frozen inputs (no injections, quiet credits): bit-identical to k
+  /// step(·) calls in that state — occupancy sums and router clocks
+  /// advance, nothing else changes.
+  void skip_waiting(std::uint64_t k);
+
   /// Advances `k` cycles on a fully-drained tree — bit-identical to k
   /// step(·) calls while idle() (which only tick router clocks and
   /// occupancy denominators). Requires idle().
@@ -131,6 +151,10 @@ class UpwardTree {
   /// (and resets) true so the first cycle of a phase always runs the
   /// full per-cycle path.
   bool last_step_transferred_ = true;
+  /// Whether the previous step() was a pure wait cycle (no decisions,
+  /// no closure change). Starts (and resets) false — conservative: the
+  /// first cycle after any reset must execute for real.
+  bool last_step_quiet_ = false;
 };
 
 /// Root-to-PEs pipelined multicast with fixed per-level latency.

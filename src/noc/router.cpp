@@ -32,6 +32,7 @@ void Router::reset() {
   granted_port_.reset();
   granted_all_ = false;
   granted_row_cache_ = 0;
+  last_step_decided_ = true;
 }
 
 void Router::set_port_closed(std::size_t port, bool closed) {
@@ -41,26 +42,20 @@ void Router::set_port_closed(std::size_t port, bool closed) {
 
 std::optional<Flit> Router::accumulate() {
   // Wait until every open port has its head flit; closed ports with
-  // drained buffers drop out of the reduction.
+  // drained buffers drop out of the reduction. One pass decides: an
+  // empty open port means the ACC waits for the laggard no matter
+  // what the other ports hold, and an all-drained router has no data.
   std::uint32_t row = UINT32_MAX;
   bool any_data = false;
   for (const Port& p : inputs_) {
     if (p.buffer.empty()) {
-      if (!p.closed) {
-        if (any_data) return std::nullopt;  // ragged: wait for laggard
-        // No data anywhere yet either; keep scanning to find data.
-        continue;
-      }
+      if (!p.closed) return std::nullopt;  // ragged: wait for laggard
       continue;
     }
     any_data = true;
     row = std::min(row, p.buffer.front().index);
   }
   if (!any_data) return std::nullopt;
-  // Every open port must be ready before the ACC fires.
-  for (const Port& p : inputs_) {
-    if (!p.closed && p.buffer.empty()) return std::nullopt;
-  }
 
   Flit combined;
   combined.index = row;
@@ -151,7 +146,18 @@ void Router::skip_stalled(std::uint64_t k) {
   drop_expired_credits();
 }
 
+void Router::skip_waiting(std::uint64_t k) {
+  stats_.buffer_occupancy_sum += buffered_ * k;
+  stats_.cycles += k;
+  now_ += k;
+  drop_expired_credits();
+}
+
 bool Router::credits_quiet() const noexcept {
+  // Latency-1 credits are never tracked (see can_accept), so the
+  // buffered flow-control default answers without touching the ports —
+  // the event core's wait-skip check asks every router every cycle.
+  if (credit_latency_ <= 1) return true;
   for (const Port& p : inputs_)
     for (const std::size_t stamp : p.pending_credits)
       if (stamp > now_) return false;

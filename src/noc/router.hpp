@@ -88,6 +88,7 @@ class Router {
 
     std::optional<Flit> out =
         mode_ == RouterMode::kArbitrate ? arbitrate() : accumulate();
+    last_step_decided_ = out.has_value();
     if (out && !parent_ready) {
       ++stats_.credit_stalls;
       granted_port_.reset();
@@ -95,6 +96,19 @@ class Router {
       return std::nullopt;
     }
     return out;
+  }
+
+  /// True when the last step() produced an output decision — even one
+  /// that was then cancelled by a closed parent credit window (a
+  /// cancelled decision still charges statistics, so a cycle containing
+  /// one is never a pure wait cycle). The event core's wait-skip window
+  /// requires every router's last step to have decided nothing.
+  bool last_step_decided() const noexcept { return last_step_decided_; }
+
+  /// True when input port `port` has been closed via set_port_closed.
+  bool port_closed(std::size_t port) const {
+    expects(port < inputs_.size(), "router port out of range");
+    return inputs_[port].closed;
   }
 
   /// Finalises the cycle: retires the granted flit, returns credits.
@@ -140,6 +154,13 @@ class Router {
   /// empty router) and quiet credits.
   void skip_stalled(std::uint64_t k);
 
+  /// Advances `k` pure wait cycles: the router may hold flits but its
+  /// last step decided nothing (see last_step_decided), its state is
+  /// frozen for the window, and its credits are quiet — so each
+  /// skipped cycle only accumulates occupancy and ticks the clock.
+  /// Bit-identical to k step(·)+commit() pairs in that state.
+  void skip_waiting(std::uint64_t k);
+
   /// True when no credit is still travelling back to a child (a credit
   /// in flight could reopen a port mid-window, so macro-stepping
   /// requires quiet credits).
@@ -163,20 +184,22 @@ class Router {
 
   /// Arbitration decision — inline, it runs per router per cycle.
   std::optional<Flit> arbitrate() {
-    std::optional<std::size_t> winner;
+    std::size_t winner = inputs_.size();
+    std::uint32_t best_row = 0;
     std::size_t candidates = 0;
     for (std::size_t i = 0; i < inputs_.size(); ++i) {
       if (inputs_[i].buffer.empty()) continue;
-      ++candidates;
-      if (!winner || inputs_[i].buffer.front().index <
-                         inputs_[*winner].buffer.front().index) {
+      const std::uint32_t row = inputs_[i].buffer.front().index;
+      if (candidates == 0 || row < best_row) {
         winner = i;
+        best_row = row;
       }
+      ++candidates;
     }
-    if (!winner) return std::nullopt;
+    if (candidates == 0) return std::nullopt;
     if (candidates > 1) ++stats_.arbitration_conflicts;
     granted_port_ = winner;
-    return inputs_[*winner].buffer.front();
+    return inputs_[winner].buffer.front();
   }
 
   std::optional<Flit> accumulate();
@@ -199,6 +222,10 @@ class Router {
   std::optional<std::size_t> granted_port_;   ///< arbitrate winner
   bool granted_all_ = false;                  ///< accumulate fired
   std::uint32_t granted_row_cache_ = 0;       ///< row the ACC fired on
+  /// Whether the previous step() produced an output decision (before
+  /// any credit cancellation). Starts true so a phase's first cycle
+  /// can never look like a wait cycle.
+  bool last_step_decided_ = true;
 };
 
 }  // namespace sparsenn

@@ -212,6 +212,27 @@ class ProcessingElement {
   /// return false).
   void burst_w_consume(std::uint64_t k);
 
+  /// The full W-phase injection list built by start_w_phase(), cursor
+  /// independent — the event core concatenates every PE's list to know
+  /// all activations the phase will deliver before simulating it.
+  std::span<const Flit> w_injection_flits() const noexcept {
+    return w_injections_;
+  }
+  /// Predicted-active mapped rows this layer (valid after
+  /// start_w_phase()); the per-delivered-activation datapath occupancy
+  /// is max(1, this).
+  std::size_t w_active_row_count() const noexcept {
+    return active_local_rows_.size();
+  }
+  /// Bulk W-phase datapath: accumulates every activation in `acts`
+  /// into the local accumulators and charges the per-activation event
+  /// totals (2 queue ops, max(1, active) busy cycles, active W-mem
+  /// reads and MACs each) — bit-identical in data and counters to
+  /// enqueueing and consuming them one cycle at a time, because int64
+  /// accumulation is exact and order-independent. The event core pairs
+  /// this with its cycle-timing model, which never touches the PE.
+  void apply_w_activations(std::span<const Flit> acts);
+
   /// Rescales accumulators and writes the destination register file;
   /// returns (global index, value) pairs of the produced activations.
   /// The view is into a member buffer, valid until the next call.

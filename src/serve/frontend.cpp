@@ -336,7 +336,8 @@ void ServingFrontend::process_batch(
 
       EngineSlot& backend = backends[entry.arch.cache_key()];
       if (!backend.engine)
-        backend.engine = make_engine(options_.engine, entry.arch);
+        backend.engine =
+            make_engine(options_.engine, entry.arch, options_.sim);
       backend.arena.reserve(*image);
 
       for (std::size_t i = 0; i < n; ++i) {

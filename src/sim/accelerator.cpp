@@ -19,11 +19,19 @@ AcceleratorSim::AcceleratorSim(const ArchParams& params)
     : params_(params),
       v_tree_(params_, RouterMode::kAccumulate),   // ctor validates params
       w_tree_(params_, RouterMode::kArbitrate),
-      broadcast_(params_.router_levels) {
+      broadcast_(params_.router_levels),
+      event_core_(params_) {
   params_.validate();
   pes_.reserve(params_.num_pes);
   for (std::size_t i = 0; i < params_.num_pes; ++i)
     pes_.emplace_back(i, params_);
+  pe_scratch_.resize(params_.num_pes);
+}
+
+void AcceleratorSim::set_sim_options(const SimOptions& options) {
+  sim_options_ = options;
+  event_core_.set_threads(std::max<std::size_t>(std::size_t{1},
+                                                options.sim_threads));
 }
 
 SimResult AcceleratorSim::run(const QuantizedNetwork& network,
@@ -127,24 +135,63 @@ void AcceleratorSim::run_layer_into(const CompiledNetwork& compiled,
   result.nnz_inputs = 0;
   result.active_rows = 0;
 
-  for (auto& pe : pes_) {
-    pe.reset_events();
-    pe.load_layer(compiled.slice(l, pe.id()));
-    result.nnz_inputs += pe.scan_source_nonzeros().size();
+  const bool event = sim_options_.stepping == SteppingMode::kEvent;
+  if (event) {
+    // Layer prologue as a sharded epoch: per-PE loads and scans touch
+    // only that PE. The nonzero counts land in per-PE slots and are
+    // summed in id order, so the total is thread-count independent.
+    event_core_.parallel_pes([&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        pes_[i].reset_events();
+        pes_[i].load_layer(compiled.slice(l, i));
+        pe_scratch_[i] = pes_[i].scan_source_nonzeros().size();
+      }
+    });
+    for (const std::size_t n : pe_scratch_) result.nnz_inputs += n;
+  } else {
+    for (auto& pe : pes_) {
+      pe.reset_events();
+      pe.load_layer(compiled.slice(l, pe.id()));
+      result.nnz_inputs += pe.scan_source_nonzeros().size();
+    }
   }
 
   const bool predict = compiled.use_predictor() && layer.has_predictor() &&
                        !layer.is_output;
   if (predict) {
-    result.v_cycles = simulate_v_phase(layer, result);
-    std::uint64_t u_max = 0;
-    for (auto& pe : pes_) u_max = std::max(u_max, pe.run_u_phase());
-    result.u_cycles = u_max + params_.pe_pipeline_stages;
+    if (event) {
+      const int from_frac =
+          layer.in_fmt.frac_bits + layer.v->fmt.frac_bits;
+      result.v_cycles = event_core_.run_v_phase(
+          pes_, v_tree_, broadcast_, layer.rank(), from_frac,
+          layer.mid_fmt.frac_bits, result);
+      event_core_.parallel_pes([&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+          pe_scratch_[i] = pes_[i].run_u_phase();
+      });
+      std::uint64_t u_max = 0;
+      for (const std::size_t macs : pe_scratch_)
+        u_max = std::max<std::uint64_t>(u_max, macs);
+      result.u_cycles = u_max + params_.pe_pipeline_stages;
+    } else {
+      result.v_cycles = simulate_v_phase(layer, result);
+      std::uint64_t u_max = 0;
+      for (auto& pe : pes_) u_max = std::max(u_max, pe.run_u_phase());
+      result.u_cycles = u_max + params_.pe_pipeline_stages;
+    }
+  } else if (event) {
+    event_core_.parallel_pes([&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i)
+        pes_[i].force_all_rows_active();
+    });
   } else {
     for (auto& pe : pes_) pe.force_all_rows_active();
   }
 
-  result.w_cycles = simulate_w_phase(result);
+  result.w_cycles = event
+                        ? event_core_.run_w_phase(pes_, w_tree_, broadcast_,
+                                                  layer.w.cols, result)
+                        : simulate_w_phase(result);
   result.total_cycles = result.v_cycles + result.u_cycles + result.w_cycles;
 
   // Gather the produced activations (and count computed rows).
@@ -188,7 +235,8 @@ std::uint64_t AcceleratorSim::simulate_v_phase(const QuantizedLayer& layer,
   // MACs, every cycle is pure compute — no partial is ready, so the
   // tree and broadcast provably idle through all of them. Run the
   // whole burst through the vectorised column kernel in one shot.
-  if (macro_stepping_ && rank > 0) {
+  const bool macro = sim_options_.stepping == SteppingMode::kMacro;
+  if (macro && rank > 0) {
     std::size_t burst = SIZE_MAX;
     for (const auto& pe : pes_)
       burst = std::min(burst, pe.v_burst_cycles());
@@ -252,6 +300,7 @@ std::uint64_t AcceleratorSim::simulate_w_phase(LayerSimResult& result) {
 
   for (auto& pe : pes_) pe.start_w_phase();
 
+  const bool macro = sim_options_.stepping == SteppingMode::kMacro;
   std::uint64_t cycles = 0;
   std::uint64_t delivered_count = 0;
 
@@ -273,8 +322,7 @@ std::uint64_t AcceleratorSim::simulate_w_phase(LayerSimResult& result) {
     // and the NoC is fully empty, so the rest of the phase is each PE
     // independently grinding down its queue at a fixed per-activation
     // cost. Jump to the end in one shot.
-    if (macro_stepping_ && all_injected && broadcast.idle() &&
-        tree.idle()) {
+    if (macro && all_injected && broadcast.idle() && tree.idle()) {
       std::uint64_t burst = 0;
       for (const auto& pe : pes_)
         burst = std::max(burst, pe.w_pending_cycles());
@@ -294,7 +342,7 @@ std::uint64_t AcceleratorSim::simulate_w_phase(LayerSimResult& result) {
     // repeats the same stalled decisions while PEs count down their
     // MAC bursts — advance all of it at once. stalled_static() proves
     // the tree part; the PE scan proves the rest.
-    if (macro_stepping_ && broadcast.idle() && !tree.idle() &&
+    if (macro && broadcast.idle() && !tree.idle() &&
         !tree.last_step_transferred()) {
       std::uint64_t burst = UINT64_MAX;
       bool any_full = false;

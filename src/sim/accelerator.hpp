@@ -55,6 +55,7 @@
 #include "pe/pe.hpp"
 #include "sim/compiled_network.hpp"
 #include "sim/engine.hpp"
+#include "sim/event_core.hpp"
 #include "sim/trace.hpp"
 
 namespace sparsenn {
@@ -97,19 +98,32 @@ class AcceleratorSim final : public ExecutionEngine {
   /// records. Pass nullptr to detach. The log must outlive the sim.
   void set_trace(TraceLog* trace) noexcept override { trace_ = trace; }
 
-  /// Macro-stepped cycle advancement (default on): whenever the
-  /// per-cycle loop can prove the next state change is k cycles away —
-  /// all PEs in a deterministic MAC burst with the tree and broadcast
-  /// idle, the pure PE drain after the last W-phase delivery, or a
-  /// fully-stalled NoC waiting on queue credits — it advances
-  /// counters by k in one shot. Results, cycle counts, event counters
-  /// and NoC statistics are bit-identical either way
-  /// (tests/compiled_engine_test pins this); the knob exists so tests
-  /// and benches can cross-check macro against pure per-cycle runs.
-  void set_macro_stepping(bool enabled) noexcept {
-    macro_stepping_ = enabled;
+  /// How simulated time advances (see SteppingMode in sim/engine.hpp).
+  /// Results, cycle counts, event counters and NoC statistics are
+  /// bit-identical across all three modes
+  /// (tests/compiled_engine_test and tests/event_core_test pin this);
+  /// the knob exists so tests and benches can cross-check the event
+  /// and macro cores against pure per-cycle runs. Default: kEvent,
+  /// the fastest mode.
+  void set_stepping_mode(SteppingMode mode) noexcept {
+    sim_options_.stepping = mode;
   }
-  bool macro_stepping() const noexcept { return macro_stepping_; }
+  SteppingMode stepping_mode() const noexcept {
+    return sim_options_.stepping;
+  }
+
+  /// Full cycle-engine options (stepping mode + intra-inference shard
+  /// threads). Thread counts only matter under SteppingMode::kEvent
+  /// and never change any observable — only wall-clock.
+  void set_sim_options(const SimOptions& options);
+  const SimOptions& sim_options() const noexcept { return sim_options_; }
+
+  /// How much work the event core did since the last reset (empty
+  /// unless runs used SteppingMode::kEvent).
+  const EventCore::Stats& event_core_stats() const noexcept {
+    return event_core_.stats();
+  }
+  void reset_event_core_stats() noexcept { event_core_.reset_stats(); }
 
  private:
   /// Shared implementation of every entry point: quantises the input
@@ -139,7 +153,9 @@ class AcceleratorSim final : public ExecutionEngine {
   BroadcastChannel broadcast_;
   std::vector<bool> v_closed_;  ///< per-PE injector-closed scratch
 
-  bool macro_stepping_ = true;
+  SimOptions sim_options_;      ///< default: event stepping, 1 thread
+  EventCore event_core_;
+  std::vector<std::size_t> pe_scratch_;  ///< per-PE epoch outputs
   TraceLog* trace_ = nullptr;
 };
 

@@ -157,7 +157,8 @@ BatchResult BatchRunner::run(const CompiledNetwork& compiled,
     // backend: the SimResult is folded into the accumulator and its
     // storage reused.
     const std::unique_ptr<ExecutionEngine> engine = make_engine(
-        options_.engine.value_or(EngineKind::kCycle), params_);
+        options_.engine.value_or(EngineKind::kCycle), params_,
+        options_.sim.value_or(SimOptions{}));
     ResultArena arena;
     if (!options_.keep_results) arena.reserve(compiled);
     try {

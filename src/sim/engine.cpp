@@ -29,11 +29,34 @@ std::optional<EngineKind> parse_engine_kind(std::string_view name) {
   return std::nullopt;
 }
 
+const char* to_string(SteppingMode mode) noexcept {
+  switch (mode) {
+    case SteppingMode::kPerCycle:
+      return "per_cycle";
+    case SteppingMode::kMacro:
+      return "macro";
+    case SteppingMode::kEvent:
+      return "event";
+  }
+  return "unknown";
+}
+
+std::optional<SteppingMode> parse_stepping_mode(std::string_view name) {
+  if (name == "per_cycle") return SteppingMode::kPerCycle;
+  if (name == "macro") return SteppingMode::kMacro;
+  if (name == "event") return SteppingMode::kEvent;
+  return std::nullopt;
+}
+
 std::unique_ptr<ExecutionEngine> make_engine(EngineKind kind,
-                                             const ArchParams& params) {
+                                             const ArchParams& params,
+                                             const SimOptions& sim) {
   switch (kind) {
-    case EngineKind::kCycle:
-      return std::make_unique<AcceleratorSim>(params);
+    case EngineKind::kCycle: {
+      auto engine = std::make_unique<AcceleratorSim>(params);
+      engine->set_sim_options(sim);
+      return engine;
+    }
     case EngineKind::kAnalytic:
       return std::make_unique<AnalyticEngine>(params);
   }

@@ -97,12 +97,12 @@ TEST_P(CompiledEngineExactness, BitIdenticalToFreshPerInferenceRuns) {
 INSTANTIATE_TEST_SUITE_P(UvModes, CompiledEngineExactness,
                          ::testing::Values(true, false));
 
-/// Macro-stepped cycle advancement vs pure per-cycle ticking: every
-/// SimResult field — cycle counts, event counters, NoC statistics
-/// (conflicts, credit stalls, occupancy sums), activations — must be
-/// bit-identical. Runs both uv modes and several queue depths so the
-/// deterministic-burst, drain-tail and stalled-NoC windows all fire
-/// with different frequencies.
+/// Macro-stepped and event-driven cycle advancement vs pure per-cycle
+/// ticking: every SimResult field — cycle counts, event counters, NoC
+/// statistics (conflicts, credit stalls, occupancy sums), activations
+/// — must be bit-identical. Runs both uv modes and several queue
+/// depths so the deterministic-burst, drain-tail and stalled-NoC
+/// windows all fire with different frequencies.
 class MacroStepping : public ::testing::TestWithParam<bool> {};
 
 TEST_P(MacroStepping, BitIdenticalToPerCycleEngine) {
@@ -114,11 +114,14 @@ TEST_P(MacroStepping, BitIdenticalToPerCycleEngine) {
     const CompiledNetwork compiled(f.network, arch, uv_on);
 
     AcceleratorSim macro(arch);
-    macro.set_macro_stepping(true);
+    macro.set_stepping_mode(SteppingMode::kMacro);
+    AcceleratorSim event(arch);
+    event.set_stepping_mode(SteppingMode::kEvent);
     AcceleratorSim per_cycle(arch);
-    per_cycle.set_macro_stepping(false);
-    ASSERT_TRUE(macro.macro_stepping());
-    ASSERT_FALSE(per_cycle.macro_stepping());
+    per_cycle.set_stepping_mode(SteppingMode::kPerCycle);
+    ASSERT_EQ(macro.stepping_mode(), SteppingMode::kMacro);
+    ASSERT_EQ(event.stepping_mode(), SteppingMode::kEvent);
+    ASSERT_EQ(per_cycle.stepping_mode(), SteppingMode::kPerCycle);
 
     for (std::size_t i = 0; i < f.data.size(); ++i) {
       const SimResult expected =
@@ -127,6 +130,11 @@ TEST_P(MacroStepping, BitIdenticalToPerCycleEngine) {
           macro.run(compiled, f.data.image(i), ValidationMode::kOff);
       EXPECT_EQ(got, expected)
           << "input " << i << " uv " << uv_on << " depth " << queue_depth;
+      const SimResult evented =
+          event.run(compiled, f.data.image(i), ValidationMode::kOff);
+      EXPECT_EQ(evented, expected)
+          << "event input " << i << " uv " << uv_on << " depth "
+          << queue_depth;
     }
   }
 }

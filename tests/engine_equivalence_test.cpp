@@ -114,13 +114,14 @@ TEST(EngineEquivalence, IdxTinyMnist) {
   expect_equivalent(network, *images, images->rows());
 }
 
-/// Macro-stepped vs pure per-cycle advancement at paper scale (64 PEs,
-/// 3-level NoC, 784-wide input): full SimResult equality — cycles,
-/// events, arbitration conflicts, credit stalls, occupancy sums — for
-/// both uv modes. The wide first layer keeps the NoC saturated long
-/// enough that the stalled-NoC window is exercised, not just the
-/// V-burst and drain-tail windows.
-TEST(EngineEquivalence, MacroSteppingBitIdenticalAtPaperScale) {
+/// Macro-stepped and event-driven advancement vs pure per-cycle at
+/// paper scale (64 PEs, 3-level NoC, 784-wide input): full SimResult
+/// equality — cycles, events, arbitration conflicts, credit stalls,
+/// occupancy sums — for both uv modes. The wide first layer keeps the
+/// NoC saturated long enough that the stalled-NoC window is exercised,
+/// not just the V-burst and drain-tail windows. The event engine also
+/// runs sharded across 8 threads — thread count must not change a bit.
+TEST(EngineEquivalence, SteppingModesBitIdenticalAtPaperScale) {
   DatasetOptions options;
   options.train_size = 16;
   options.test_size = 4;
@@ -129,8 +130,13 @@ TEST(EngineEquivalence, MacroSteppingBitIdenticalAtPaperScale) {
 
   const ArchParams arch = ArchParams::paper();
   AcceleratorSim macro(arch);
+  macro.set_stepping_mode(SteppingMode::kMacro);
+  AcceleratorSim event(arch);
+  AcceleratorSim event_mt(arch);
+  event_mt.set_sim_options(
+      SimOptions{.stepping = SteppingMode::kEvent, .sim_threads = 8});
   AcceleratorSim per_cycle(arch);
-  per_cycle.set_macro_stepping(false);
+  per_cycle.set_stepping_mode(SteppingMode::kPerCycle);
   for (const bool uv_on : {true, false}) {
     const CompiledNetwork compiled(network, arch, uv_on);
     for (std::size_t i = 0; i < split.test.inputs.rows(); ++i) {
@@ -139,6 +145,14 @@ TEST(EngineEquivalence, MacroSteppingBitIdenticalAtPaperScale) {
       const SimResult got = macro.run(compiled, split.test.inputs.row(i),
                                       ValidationMode::kOff);
       EXPECT_EQ(got, expected) << "sample " << i << " uv " << uv_on;
+      const SimResult evented = event.run(
+          compiled, split.test.inputs.row(i), ValidationMode::kOff);
+      EXPECT_EQ(evented, expected)
+          << "event sample " << i << " uv " << uv_on;
+      const SimResult sharded = event_mt.run(
+          compiled, split.test.inputs.row(i), ValidationMode::kOff);
+      EXPECT_EQ(sharded, expected)
+          << "event/8-thread sample " << i << " uv " << uv_on;
     }
   }
 }

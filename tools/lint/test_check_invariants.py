@@ -149,6 +149,22 @@ void run() { (void)fault::point("engine.run"); }
         self.assertIn("made_up_metric", out)
         self.assertNotIn("p99_us", out)
 
+    def test_event_gate_keys_resolve_via_baseline(self):
+        # The event-core CI gates (event_speedup, event_bit_identical)
+        # may be satisfied by the committed BENCH_baseline.json as well
+        # as a bench/ source — plain-JSON quoting must count.
+        write(self.root, "src/engine.cpp",
+              '#include "common/fault.hpp"\n'
+              'void run() { (void)fault::point("engine.run"); }\n')
+        write(self.root, ".github/workflows/ci.yml",
+              '          j["event_speedup"]\n'
+              '          j["event_bit_identical"]\n')
+        write(self.root, "BENCH_baseline.json",
+              '{"snapshot": {"event_speedup": 1.7, '
+              '"event_bit_identical": true}}\n')
+        status, out = run_lint(self.root)
+        self.assertEqual(status, 0, out)
+
 
 class RealRepo(unittest.TestCase):
     def test_the_actual_repo_is_clean(self):
