@@ -25,6 +25,26 @@
 //     client back-pressure. At this load the run must be shed-free
 //     (CI gates on it).
 //
+// Plus two overload-control phases (seeded chaos storms through the
+// fault framework, fresh frontends):
+//
+//   overload — a single-threaded burst flood with priority classes
+//     (~1/19 high, ~1/5 normal, rest best-effort) against watermarked
+//     admission {1.0, 0.75, 0.25}, an injected per-batch stall so the
+//     flood genuinely outruns the three workers, and one extra model
+//     whose compiles are forced to fail so its circuit breaker opens
+//     and (post-storm) recovers. Capacity is sized so high-priority
+//     headroom exceeds the whole high-priority load: CI gates that
+//     high sheds nothing while best-effort sheds, and that the
+//     breaker opened, shed, and closed again. Emits per-class
+//     p50/p99/shed plus breaker transition counts.
+//
+//   degraded — a kCycle frontend with allow_degraded: three doomed
+//     requests trip the brownout pressure signal, then real requests
+//     transparently run on the AnalyticEngine fallback. Every
+//     degraded result is compared bitwise against a direct
+//     AnalyticEngine run (CI gates bit_identical).
+//
 // Requests pick their model by a zipf(s) popularity distribution over
 // `--models` distinct registered networks (different hidden widths, so
 // the zoo really holds distinct images), matching the skewed traffic
@@ -36,6 +56,7 @@
 // own per-batch accounting.
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -47,14 +68,17 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/cli_args.hpp"
+#include "common/fault.hpp"
 #include "common/rng.hpp"
 #include "nn/network.hpp"
 #include "nn/predictor.hpp"
 #include "nn/quantized.hpp"
 #include "serve/frontend.hpp"
+#include "sim/compiled_network.hpp"
 
 namespace {
 
@@ -269,6 +293,281 @@ PhaseReport run_open_loop(ServingFrontend& frontend, Workload& load,
   return report;
 }
 
+// ---- overload phase ------------------------------------------------
+
+/// Client-side per-priority-class accounting for the overload phase;
+/// cross-checked request-for-request against the frontend's own
+/// per-class counters before anything is reported.
+struct ClassTally {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t failed = 0;
+  std::vector<double> latencies;  ///< completed requests only
+  double p50_us = 0.0, p99_us = 0.0;
+
+  double shed_rate() const {
+    return submitted ? static_cast<double>(shed) /
+                           static_cast<double>(submitted)
+                     : 0.0;
+  }
+};
+
+struct OverloadReport {
+  std::uint64_t requests = 0;  ///< flood size (excludes warmup/recovery)
+  double wall_seconds = 0.0;
+  std::array<ClassTally, kNumPriorityClasses> classes;
+  bool breaker_recovered = false;  ///< failing model closed post-storm
+  ServingStats stats;
+};
+
+/// One in-flight overload request: future + stamp + its class.
+struct ClassedSlot {
+  std::future<ServeResult> future;
+  Clock::time_point submitted;
+  Priority priority = Priority::kNormal;
+};
+
+void settle(ClassedSlot&& slot, OverloadReport& report) {
+  ClassTally& tally = report.classes[class_index(slot.priority)];
+  ++tally.submitted;
+  const ServeResult r = slot.future.get();
+  if (r.status == ServeStatus::kOk) {
+    ++tally.completed;
+    tally.latencies.push_back(us_between(slot.submitted, Clock::now()));
+  } else if (r.status == ServeStatus::kEngineError) {
+    ++tally.failed;
+  } else {
+    ++tally.shed;
+  }
+}
+
+/// Burst flood with priority classes against watermarked admission
+/// plus a dedicated failing model under a seeded fault storm: an
+/// injected per-batch stall makes the flood genuinely outrun the three
+/// workers (so best-effort sheds) while forced compile failures open
+/// the failing model's circuit breaker; after the storm a recovery
+/// loop drives the breaker open → half-open → closed again.
+OverloadReport run_overload_phase(const Workload& load, std::size_t flood) {
+  OverloadReport report;
+  report.requests = flood;
+
+  // ~1/19 of the flood is high priority (the r % 19 pattern below).
+  const std::size_t high_count = (flood + 18) / 19;
+
+  ServingOptions options;
+  options.num_workers = 3;
+  options.max_batch = 4;
+  options.max_wait_us = 200;
+  options.engine = EngineKind::kAnalytic;
+  // High-priority headroom is deterministic, not probabilistic: with
+  // watermarks {1.0, 0.75, 0.25}, best-effort stops admitting at
+  // 0.25 × capacity and normal at 0.75 × capacity, so the worst-case
+  // depth a high-priority submission can meet is 0.75 × capacity plus
+  // every prior high request — under capacity as long as capacity
+  // covers 4 × high_count. 8× leaves a 2× margin.
+  options.queue_capacity = std::max<std::size_t>(64, 8 * high_count);
+  options.max_queued_per_model = options.queue_capacity;
+  options.class_watermarks = {1.0, 0.75, 0.25};
+  options.breaker.window = 16;
+  options.breaker.min_samples = 8;
+  options.breaker.failure_threshold = 0.5;
+  options.breaker.open_sheds = 8;
+  options.breaker.probe_interval = 2;
+  options.breaker.probe_successes = 2;
+  options.breaker.seed = 2024;
+  // The failing model's compiles are *forced* to fail under the storm;
+  // healthy images are warmed below and must never be evicted into a
+  // recompile (which would fail too and charge an injected error to a
+  // healthy model).
+  options.zoo_capacity_per_arch = load.networks.size() + 2;
+
+  // The breaker target, registered alongside the healthy models.
+  Rng failing_rng{7};
+  const QuantizedNetwork failing_net =
+      make_model(load.networks.size(), failing_rng);
+
+  ServingFrontend frontend(options);
+  std::vector<std::size_t> handles;
+  for (const QuantizedNetwork& net : load.networks)
+    handles.push_back(frontend.register_model(net, bench_arch()));
+  const std::size_t failing = frontend.register_model(failing_net,
+                                                      bench_arch());
+
+  // Warm every healthy model's compiled image before arming the storm
+  // (zoo.compile fires on the miss path only, so warm images are
+  // immune to the injected compile outage).
+  for (const std::size_t handle : handles) {
+    SubmitOptions warm;
+    warm.priority = Priority::kNormal;
+    settle({frontend.submit(handle, load.inputs[0], warm), Clock::now(),
+            Priority::kNormal},
+           report);
+  }
+
+  const auto start = Clock::now();
+  {
+    fault::ScopedFaultStorm storm(20260807);
+    storm.add({.point = "zoo.compile",
+               .action = fault::FaultAction::kThrow,
+               .probability = 1.0,
+               .message = "injected compile outage"});
+    storm.add({.point = "serve.worker.batch",
+               .action = fault::FaultAction::kDelay,
+               .probability = 1.0,
+               .delay_us = 800});
+
+    std::vector<ClassedSlot> inflight;
+    inflight.reserve(flood);
+    for (std::size_t r = 0; r < flood; ++r) {
+      const Priority pri = (r % 19 == 0)  ? Priority::kHigh
+                           : (r % 5 == 0) ? Priority::kNormal
+                                          : Priority::kBestEffort;
+      // High-priority traffic only targets healthy models (an SLO tier
+      // would not be pointed at a known-bad deployment); lower classes
+      // alternate between healthy traffic and the failing model.
+      const std::size_t handle = (pri != Priority::kHigh && (r & 1))
+                                     ? failing
+                                     : handles[r % handles.size()];
+      SubmitOptions so;
+      so.priority = pri;
+      inflight.push_back({frontend.submit(
+                              handle, load.inputs[r % load.inputs.size()],
+                              so),
+                          Clock::now(), pri});
+    }
+    for (ClassedSlot& slot : inflight) settle(std::move(slot), report);
+  }  // storm disarmed — compiles succeed again
+
+  // Recovery: keep submitting to the failing model until its breaker
+  // closes (open sheds burn down, then seeded half-open probes
+  // succeed). Bounded so a broken breaker fails the self-check instead
+  // of hanging the bench.
+  for (std::size_t i = 0; i < 400 && !report.breaker_recovered; ++i) {
+    SubmitOptions so;
+    so.priority = Priority::kNormal;
+    settle({frontend.submit(failing, load.inputs[i % load.inputs.size()],
+                            so),
+            Clock::now(), Priority::kNormal},
+           report);
+    report.breaker_recovered =
+        frontend.breaker_state(failing) == BreakerState::kClosed;
+    if (!report.breaker_recovered)
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  report.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  frontend.shutdown();
+  report.stats = frontend.stats();
+  for (ClassTally& tally : report.classes) {
+    std::sort(tally.latencies.begin(), tally.latencies.end());
+    tally.p50_us = exact_percentile(tally.latencies, 50);
+    tally.p99_us = exact_percentile(tally.latencies, 99);
+  }
+  return report;
+}
+
+// ---- degraded phase ------------------------------------------------
+
+struct DegradedReport {
+  std::uint64_t requests = 0;  ///< real (post-brownout-trip) requests
+  std::uint64_t completed = 0;
+  std::uint64_t degraded_completed = 0;  ///< client-observed r.degraded
+  std::uint64_t deadline_shed = 0;
+  bool bit_identical = true;  ///< every kOk result == direct analytic run
+  ServingStats stats;
+};
+
+/// kCycle frontend with allow_degraded: three doomed requests (1 µs
+/// deadlines expiring under an injected per-batch stall) trip the
+/// brownout pressure signal, then real requests transparently run on
+/// the AnalyticEngine fallback. Every completed result is compared
+/// bitwise against a direct AnalyticEngine run of the same
+/// (model, input) — degraded mode trades the cycle estimate away,
+/// never the functional output.
+DegradedReport run_degraded_phase(const Workload& load) {
+  DegradedReport report;
+
+  ServingOptions options;
+  options.num_workers = 1;
+  options.max_batch = 4;
+  options.max_wait_us = 200;
+  options.engine = EngineKind::kCycle;
+  options.queue_capacity = 256;
+  options.max_queued_per_model = 256;
+  options.allow_degraded = true;
+  options.brownout_queue_fraction = 1.0;  // pressure signal only
+  options.brownout_deadline_sheds = 3;
+  options.brownout_window = 64;
+
+  ServingFrontend frontend(options);
+  std::vector<std::size_t> handles;
+  for (const QuantizedNetwork& net : load.networks)
+    handles.push_back(frontend.register_model(net, bench_arch()));
+
+  // Trip the brownout signal: the injected stall holds the worker past
+  // each 1 µs deadline, so all three are shed at batch-claim time and
+  // land in the recent-outcome pressure window.
+  {
+    fault::ScopedFaultStorm storm(17);
+    storm.add({.point = "serve.worker.batch",
+               .action = fault::FaultAction::kDelay,
+               .probability = 1.0,
+               .delay_us = 3000});
+    for (int i = 0; i < 3; ++i) {
+      SubmitOptions doomed;
+      doomed.deadline_us = 1;
+      frontend.submit(handles[0], load.inputs[0], doomed).get();
+    }
+  }
+
+  // Real traffic, claimed during brownout. Fewer than brownout_window
+  // minus the three sheds, so the pressure signal holds throughout.
+  report.requests = 32;
+  std::vector<std::future<ServeResult>> futures;
+  std::vector<std::pair<std::size_t, std::size_t>> keys;  // model, input
+  for (std::size_t i = 0; i < report.requests; ++i) {
+    const std::size_t model = i % handles.size();
+    const std::size_t input = i % load.inputs.size();
+    keys.emplace_back(model, input);
+    futures.push_back(
+        frontend.submit(handles[model], load.inputs[input]));
+  }
+
+  const auto analytic = make_engine(EngineKind::kAnalytic, bench_arch());
+  std::vector<std::unique_ptr<CompiledNetwork>> images;
+  for (const QuantizedNetwork& net : load.networks)
+    images.push_back(std::make_unique<CompiledNetwork>(
+        net, bench_arch(), /*use_predictor=*/true));
+
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const ServeResult r = futures[i].get();
+    if (r.status != ServeStatus::kOk) {
+      report.bit_identical = false;  // a lost request can't be identical
+      continue;
+    }
+    ++report.completed;
+    if (r.degraded) ++report.degraded_completed;
+    const auto [model, input] = keys[i];
+    const SimResult golden = analytic->run(
+        *images[model], load.inputs[input], ValidationMode::kOff);
+    if (!(r.result == golden)) report.bit_identical = false;
+  }
+
+  frontend.shutdown();
+  report.stats = frontend.stats();
+  report.deadline_shed = report.stats.deadline_shed;
+  return report;
+}
+
+void print_class(std::ostream& os, const char* name, const ClassTally& t) {
+  os << "\"" << name << "\": {\"submitted\": " << t.submitted
+     << ", \"completed\": " << t.completed << ", \"shed\": " << t.shed
+     << ", \"failed\": " << t.failed << ", \"shed_rate\": " << t.shed_rate()
+     << ", \"p50_us\": " << t.p50_us << ", \"p99_us\": " << t.p99_us << "}";
+}
+
 void print_phase(std::ostream& os, const char* name, const PhaseReport& r) {
   os << "  \"" << name << "\": {"
      << "\"wall_seconds\": " << r.wall_seconds
@@ -359,6 +658,10 @@ int main(int argc, char** argv) {
       frontend.shutdown();
     }
 
+    // ---- overload & degraded (fresh frontends, seeded storms) ----
+    const OverloadReport overload = run_overload_phase(load, requests);
+    const DegradedReport degraded = run_degraded_phase(load);
+
     std::string json;
     {
       std::ostringstream os;
@@ -378,7 +681,29 @@ int main(int argc, char** argv) {
       for (std::size_t m = 0; m < closed_per_model.size(); ++m)
         os << (m ? ", " : "") << closed_per_model[m];
       os << "],\n  \"zoo_compiles\": " << closed.stats.zoo_compiles
-         << ",\n  \"zoo_hits\": " << closed.stats.zoo_hits << "\n}\n";
+         << ",\n  \"zoo_hits\": " << closed.stats.zoo_hits << ",\n";
+      os << "  \"overload\": {\"requests\": " << overload.requests
+         << ", \"wall_seconds\": " << overload.wall_seconds << ",\n    ";
+      print_class(os, "high",
+                  overload.classes[class_index(Priority::kHigh)]);
+      os << ",\n    ";
+      print_class(os, "normal",
+                  overload.classes[class_index(Priority::kNormal)]);
+      os << ",\n    ";
+      print_class(os, "best_effort",
+                  overload.classes[class_index(Priority::kBestEffort)]);
+      os << ",\n    \"circuit_shed\": " << overload.stats.circuit_shed
+         << ", \"breaker_opens\": " << overload.stats.breaker_opens
+         << ", \"breaker_probes\": " << overload.stats.breaker_probes
+         << ", \"breaker_closes\": " << overload.stats.breaker_closes
+         << ", \"breaker_recovered\": "
+         << (overload.breaker_recovered ? "true" : "false") << "},\n";
+      os << "  \"degraded\": {\"requests\": " << degraded.requests
+         << ", \"completed\": " << degraded.completed
+         << ", \"degraded_completed\": " << degraded.degraded_completed
+         << ", \"deadline_shed\": " << degraded.deadline_shed
+         << ", \"bit_identical\": "
+         << (degraded.bit_identical ? "true" : "false") << "}\n}\n";
       json = os.str();
     }
     std::cout << json;
@@ -421,6 +746,70 @@ int main(int argc, char** argv) {
     if (num_models >= 2 && zipf_s > 0.0 && head <= tail) {
       std::cerr << "error: zipf popularity not skewed (head " << head
                 << " <= tail " << tail << ")\n";
+      return 1;
+    }
+
+    // Overload-phase self-checks (CI gates on the JSON mirror of
+    // these): client-side tallies must agree with the frontend's
+    // per-class counters request for request, high priority must ride
+    // out the storm shed- and failure-free while best-effort sheds,
+    // and the failing model's breaker must have opened, shed, and
+    // closed again.
+    static const char* kClassNames[kNumPriorityClasses] = {
+        "high", "normal", "best_effort"};
+    for (std::size_t c = 0; c < kNumPriorityClasses; ++c) {
+      const ClassTally& t = overload.classes[c];
+      const ServingStats& s = overload.stats;
+      if (t.submitted != s.submitted_by_class[c] ||
+          t.completed != s.completed_by_class[c] ||
+          t.shed != s.shed_by_class[c] || t.failed != s.failed_by_class[c]) {
+        std::cerr << "error: overload class '" << kClassNames[c]
+                  << "' client/frontend accounting mismatch\n";
+        return 1;
+      }
+      if (t.submitted != t.completed + t.shed + t.failed) {
+        std::cerr << "error: overload class '" << kClassNames[c]
+                  << "' lost requests\n";
+        return 1;
+      }
+    }
+    const ClassTally& high =
+        overload.classes[class_index(Priority::kHigh)];
+    const ClassTally& best_effort =
+        overload.classes[class_index(Priority::kBestEffort)];
+    if (high.shed != 0 || high.failed != 0) {
+      std::cerr << "error: overload shed/failed high-priority requests ("
+                << high.shed << " shed, " << high.failed << " failed)\n";
+      return 1;
+    }
+    if (best_effort.shed == 0) {
+      std::cerr << "error: overload flood shed no best-effort requests\n";
+      return 1;
+    }
+    if (overload.stats.breaker_opens == 0 ||
+        overload.stats.circuit_shed == 0 ||
+        overload.stats.breaker_closes == 0 || !overload.breaker_recovered) {
+      std::cerr << "error: breaker did not open/shed/recover (opens "
+                << overload.stats.breaker_opens << ", circuit_shed "
+                << overload.stats.circuit_shed << ", closes "
+                << overload.stats.breaker_closes << ", recovered "
+                << overload.breaker_recovered << ")\n";
+      return 1;
+    }
+
+    // Degraded-phase self-checks: every real request completed, at
+    // least one rode the analytic fallback, exactly the three doomed
+    // requests were deadline-shed, and every result matched the
+    // direct AnalyticEngine run bit for bit.
+    if (degraded.completed != degraded.requests ||
+        degraded.degraded_completed == 0 || degraded.deadline_shed != 3 ||
+        !degraded.bit_identical) {
+      std::cerr << "error: degraded phase broke its contract ("
+                << degraded.completed << "/" << degraded.requests
+                << " completed, " << degraded.degraded_completed
+                << " degraded, " << degraded.deadline_shed
+                << " deadline shed, bit_identical "
+                << degraded.bit_identical << ")\n";
       return 1;
     }
     return 0;

@@ -17,6 +17,9 @@
 //                         [--max-batch b] [--max-wait-us us]
 //                         [--uv on|off] [--engine cycle|analytic]
 //                         [--stepping per_cycle|macro|event] [--sim-threads t]
+//                         [--deadline-us us] [--priority-mix h,n,b]
+//                         [--breaker-window n] [--breaker-threshold f]
+//                         [--degraded on|off]
 //   sparsenn_cli info     [--model model.bin]
 //
 // Every command also takes --simd auto|scalar: `scalar` forces the
@@ -34,9 +37,15 @@
 // how the cycle backend advances time (event-driven by default) and
 // `--sim-threads` shards one inference's PE epochs across worker
 // threads — every combination is bit-identical (sim/event_core.hpp).
+// serve-bench's overload knobs exercise the control tier: a
+// per-request deadline, a high,normal,best_effort request mix (with
+// best-effort admission watermarked so it sheds first), a per-model
+// circuit breaker, and the analytic-fallback degraded mode.
 
 #include <algorithm>
+#include <array>
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <future>
 #include <iostream>
@@ -296,16 +305,66 @@ int cmd_serve_bench(const Args& args) {
     std::cerr << "error: serve-bench takes --uv on|off, got '" << uv << "'\n";
     return 2;
   }
+  const std::string degraded = args.get("degraded", "off");
+  if (degraded != "on" && degraded != "off") {
+    std::cerr << "error: serve-bench takes --degraded on|off, got '"
+              << degraded << "'\n";
+    return 2;
+  }
+  // --priority-mix h,n,b: relative request weights per class, applied
+  // as a repeating pattern over the request stream.
+  const std::string mix_text = args.get("priority-mix", "0,1,0");
+  std::array<std::size_t, kNumPriorityClasses> mix{};
+  {
+    std::size_t parsed = 0, begin = 0;
+    bool ok = std::count(mix_text.begin(), mix_text.end(), ',') == 2;
+    while (ok && parsed < kNumPriorityClasses) {
+      const std::size_t comma = mix_text.find(',', begin);
+      const std::string token = mix_text.substr(
+          begin,
+          comma == std::string::npos ? std::string::npos : comma - begin);
+      ok = !token.empty() && token.size() <= 9 &&
+           token.find_first_not_of("0123456789") == std::string::npos;
+      if (ok) mix[parsed++] = static_cast<std::size_t>(std::stoull(token));
+      begin = comma == std::string::npos ? mix_text.size() : comma + 1;
+    }
+    if (!ok || mix[0] + mix[1] + mix[2] == 0) {
+      std::cerr << "error: serve-bench takes --priority-mix h,n,b (three "
+                   "request weights, sum > 0), got '"
+                << mix_text << "'\n";
+      return 2;
+    }
+  }
+  const double breaker_threshold =
+      std::atof(args.get("breaker-threshold", "0.5").c_str());
+  if (!(breaker_threshold > 0.0) || breaker_threshold > 1.0) {
+    std::cerr << "error: serve-bench takes --breaker-threshold in (0, 1], "
+                 "got '"
+              << args.get("breaker-threshold", "0.5") << "'\n";
+    return 2;
+  }
   ServingOptions options;
   options.num_workers = args.get_size("workers", 2);
   options.max_batch = args.get_size("max-batch", 8);
   options.max_wait_us = args.get_size("max-wait-us", 200);
   options.engine = parse_engine(args);
   options.sim = parse_sim_options(args);
+  options.breaker.window = args.get_size("breaker-window", 0);
+  options.breaker.failure_threshold = breaker_threshold;
+  options.allow_degraded = degraded == "on";
+  const std::uint64_t deadline_us = args.get_size("deadline-us", 0);
   const std::size_t clients = args.get_size("clients", 64);
   const std::size_t requests = args.get_size("requests", 512);
   options.queue_capacity = clients + options.max_batch;
   options.max_queued_per_model = options.queue_capacity;
+  // With a mixed-priority stream, watermark best-effort admission so
+  // it sheds first under depth (normal keeps the full bound, so the
+  // default all-normal run stays shed-free).
+  if (mix[class_index(Priority::kHigh)] +
+          mix[class_index(Priority::kBestEffort)] >
+      0) {
+    options.class_watermarks = {1.0, 1.0, 0.6};
+  }
 
   const LoadedModel model = load_model(args);
   const Dataset& test = model.split.test;
@@ -322,8 +381,18 @@ int cmd_serve_bench(const Args& args) {
   std::vector<std::future<ServeResult>> in_flight;
   std::vector<double> latency_us;
   latency_us.reserve(requests);
+  const std::size_t mix_total = mix[0] + mix[1] + mix[2];
   const auto submit = [&](std::size_t i) {
-    return frontend.submit(handle, test.image(i % test.size()), uv == "on");
+    SubmitOptions submit_options;
+    submit_options.use_predictor = uv == "on";
+    submit_options.deadline_us = deadline_us;
+    const std::size_t slot = i % mix_total;
+    submit_options.priority = slot < mix[0] ? Priority::kHigh
+                              : slot < mix[0] + mix[1]
+                                  ? Priority::kNormal
+                                  : Priority::kBestEffort;
+    return frontend.submit(handle, test.image(i % test.size()),
+                           submit_options);
   };
   const auto start = clock::now();
   std::size_t issued = 0;
@@ -360,18 +429,46 @@ int cmd_serve_bench(const Args& args) {
   };
   std::cout << "Served " << stats.completed << " inferences ("
             << (uv == "on" ? "uv_on" : "uv_off") << ", "
-            << to_string(options.engine) << " engine) from " << clients
+            << to_string(options.engine) << " engine, mix " << mix[0] << ","
+            << mix[1] << "," << mix[2] << ", deadline " << deadline_us
+            << "us, breaker "
+            << (options.breaker.window
+                    ? "window " + std::to_string(options.breaker.window)
+                    : std::string("off"))
+            << ", degraded " << degraded << ") from " << clients
             << " closed-loop clients in " << wall << "s\n";
   Table table({"workers", "inf/s", "p50 us", "p95 us", "p99 us",
-               "mean batch", "shed(%)", "failed", "restarts"});
+               "mean batch", "shed(%)", "deadline", "circuit", "degraded",
+               "failed", "restarts"});
   table.add_row({std::to_string(options.num_workers),
                  Cell{static_cast<double>(stats.completed) / wall, 1},
                  Cell{pct(50), 1}, Cell{pct(95), 1}, Cell{pct(99), 1},
                  Cell{stats.mean_batch_size(), 2},
                  Cell{100.0 * stats.shed_rate(), 2},
+                 std::to_string(stats.deadline_shed),
+                 std::to_string(stats.circuit_shed),
+                 std::to_string(stats.degraded_completed),
                  std::to_string(stats.failed),
                  std::to_string(stats.workers_restarted)});
   table.print(std::cout);
+  if (mix[class_index(Priority::kHigh)] +
+          mix[class_index(Priority::kBestEffort)] >
+      0) {
+    // Per-class breakdown, highest class first — each row's own
+    // accounting identity (submitted = completed + shed + failed)
+    // holds exactly once the frontend is drained.
+    Table classes({"class", "submitted", "completed", "shed", "failed"});
+    for (const Priority pri : {Priority::kHigh, Priority::kNormal,
+                               Priority::kBestEffort}) {
+      const std::size_t c = class_index(pri);
+      classes.add_row({to_string(pri),
+                       std::to_string(stats.submitted_by_class[c]),
+                       std::to_string(stats.completed_by_class[c]),
+                       std::to_string(stats.shed_by_class[c]),
+                       std::to_string(stats.failed_by_class[c])});
+    }
+    classes.print(std::cout);
+  }
   return 0;
 }
 

@@ -29,6 +29,8 @@ namespace sparsenn::fault_points {
 /// hits directly).
 inline constexpr std::string_view kAll[] = {
     "engine.run",            // sim/accelerator.cpp, sim/analytic_engine.cpp
+    "serve.breaker.probe",   // serve/health.cpp half-open probe admission
+    "serve.degrade.run",     // serve/frontend.cpp analytic-fallback run
     "serve.queue.push",      // serve/request_queue.hpp admission path
     "serve.result.corrupt",  // serve/frontend.cpp result hand-off
     "serve.worker.batch",    // serve/frontend.cpp batch entry

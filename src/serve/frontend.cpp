@@ -14,10 +14,14 @@ namespace sparsenn {
 
 namespace {
 
-/// Lane id = (model handle, uv mode): a micro-batch only groups
-/// requests that execute the same compiled image.
-std::uint64_t lane_of(std::size_t model, bool use_predictor) {
-  return (static_cast<std::uint64_t>(model) << 1) |
+/// Lane id = (model handle, priority, uv mode): a micro-batch only
+/// groups requests that execute the same compiled image, and keeping
+/// priority in the key means one lane never mixes admission/claiming
+/// classes (the queue claims oldest-highest-first across lanes).
+std::uint64_t lane_of(std::size_t model, bool use_predictor,
+                      Priority priority) {
+  return (static_cast<std::uint64_t>(model) << 3) |
+         (static_cast<std::uint64_t>(priority) << 1) |
          (use_predictor ? 1u : 0u);
 }
 
@@ -39,6 +43,7 @@ const char* to_string(ServeStatus status) noexcept {
     case ServeStatus::kOk: return "ok";
     case ServeStatus::kShedQueueFull: return "shed-queue-full";
     case ServeStatus::kShedModelBusy: return "shed-model-busy";
+    case ServeStatus::kShedCircuitOpen: return "shed-circuit-open";
     case ServeStatus::kShutdown: return "shutdown";
     case ServeStatus::kDeadlineExceeded: return "deadline-exceeded";
     case ServeStatus::kEngineError: return "engine-error";
@@ -52,6 +57,10 @@ const char* to_string(ServeStatus status) noexcept {
 /// batch switches models within one arch.
 struct ServingFrontend::EngineSlot {
   std::unique_ptr<ExecutionEngine> engine;
+  /// Degraded-mode backend (AnalyticEngine), created on first use —
+  /// shares the arena with the primary: both run sequentially on this
+  /// worker and copy results out before the slot is reused.
+  std::unique_ptr<ExecutionEngine> fallback;
   ResultArena arena;
 };
 
@@ -61,9 +70,19 @@ ServingFrontend::ServingFrontend(ServingOptions options)
       queue_(RequestQueue<Pending>::Options{
           options_.queue_capacity, options_.max_queued_per_model,
           options_.max_batch,
-          std::chrono::microseconds(options_.max_wait_us)}),
+          std::chrono::microseconds(options_.max_wait_us),
+          options_.class_watermarks}),
+      health_(options_.breaker, options_.brownout_window,
+              options_.breaker.window > 0 || options_.allow_degraded),
       batch_size_counts_(options_.max_batch, 0) {
   expects(options_.num_workers > 0, "need at least one serving worker");
+  expects(options_.brownout_queue_fraction > 0.0 &&
+              options_.brownout_queue_fraction <= 1.0,
+          "brownout_queue_fraction must be in (0, 1]");
+  brownout_depth_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             options_.brownout_queue_fraction *
+             static_cast<double>(options_.queue_capacity)));
   try {
     {
       const sync::MutexLock lock(workers_mutex_);
@@ -142,26 +161,32 @@ std::size_t ServingFrontend::num_models() const {
 
 std::future<ServeResult> ServingFrontend::resolve_now(std::size_t model,
                                                       bool use_predictor,
+                                                      Priority priority,
                                                       ServeStatus status,
                                                       std::string error) {
   // Shedding (and admission-path failure) is a first-class response,
   // not an exception: the future resolves immediately so open-loop
   // clients account it as load turned away, with zero queue residence.
   // submitted_ was already counted by submit() — only the outcome
-  // counter moves here.
+  // counters move here.
   std::promise<ServeResult> promise;
   ServeResult out;
   out.status = status;
   out.model = model;
   out.use_predictor = use_predictor;
+  out.priority = priority;
   out.error = std::move(error);
   promise.set_value(std::move(out));
   {
     const sync::MutexLock lock(stats_mutex_);
-    if (status == ServeStatus::kEngineError)
+    if (status == ServeStatus::kEngineError) {
       ++failed_;
-    else
+      ++failed_by_class_[class_index(priority)];
+    } else {
       ++shed_;
+      ++shed_by_class_[class_index(priority)];
+      if (status == ServeStatus::kShedCircuitOpen) ++circuit_shed_;
+    }
   }
   return promise.get_future();
 }
@@ -170,6 +195,7 @@ std::future<ServeResult> ServingFrontend::submit(
     std::size_t model, std::span<const float> input,
     const SubmitOptions& submit_options) {
   const bool use_predictor = submit_options.use_predictor;
+  const Priority priority = submit_options.priority;
   bool reject_shut_down = false;
   {
     const sync::MutexLock lock(models_mutex_);
@@ -186,20 +212,31 @@ std::future<ServeResult> ServingFrontend::submit(
   {
     const sync::MutexLock lock(stats_mutex_);
     ++submitted_;
+    ++submitted_by_class_[class_index(priority)];
   }
   if (reject_shut_down)
-    return resolve_now(model, use_predictor, ServeStatus::kShutdown);
+    return resolve_now(model, use_predictor, priority,
+                       ServeStatus::kShutdown);
   std::future<ServeResult> future;
   PushOutcome outcome;
   try {
     // Everything past the submitted_ count is inside the containment
     // block: a throw anywhere here (input-copy allocation, an armed
-    // serve.queue.push fault ...) must resolve the already-counted
-    // request, never leak the exception or leave the accounting
-    // dangling.
+    // serve.queue.push or serve.breaker.probe fault ...) must resolve
+    // the already-counted request, never leak the exception or leave
+    // the accounting dangling.
+    //
+    // Circuit breaker first: an open breaker sheds before the request
+    // costs a queue slot or any worker time.
+    const ModelHealth::Admission admission = health_.admit(model);
+    if (admission == ModelHealth::Admission::kShed)
+      return resolve_now(model, use_predictor, priority,
+                         ServeStatus::kShedCircuitOpen);
     Pending pending;
     pending.model = model;
     pending.use_predictor = use_predictor;
+    pending.priority = priority;
+    pending.probe = admission == ModelHealth::Admission::kProbe;
     pending.input.assign(input.begin(), input.end());
     future = pending.promise.get_future();
 
@@ -208,23 +245,26 @@ std::future<ServeResult> ServingFrontend::submit(
             ? RequestQueue<Pending>::Clock::now() +
                   std::chrono::microseconds(submit_options.deadline_us)
             : RequestQueue<Pending>::kNoDeadline;
-    outcome = queue_.try_push(lane_of(model, use_predictor),
-                              std::move(pending), deadline);
+    outcome = queue_.try_push(lane_of(model, use_predictor, priority),
+                              std::move(pending), deadline, priority);
   } catch (const std::exception& e) {
     // Admission-path failure: contained — the client gets a resolved
     // failed future, never a leaked exception or a broken promise.
-    return resolve_now(model, use_predictor, ServeStatus::kEngineError,
-                       e.what());
+    return resolve_now(model, use_predictor, priority,
+                       ServeStatus::kEngineError, e.what());
   }
   switch (outcome) {
     case PushOutcome::kAccepted:
       return future;
     case PushOutcome::kShedQueueFull:
-      return resolve_now(model, use_predictor, ServeStatus::kShedQueueFull);
+      return resolve_now(model, use_predictor, priority,
+                         ServeStatus::kShedQueueFull);
     case PushOutcome::kShedLaneFull:
-      return resolve_now(model, use_predictor, ServeStatus::kShedModelBusy);
+      return resolve_now(model, use_predictor, priority,
+                         ServeStatus::kShedModelBusy);
     case PushOutcome::kClosed:
-      return resolve_now(model, use_predictor, ServeStatus::kShutdown);
+      return resolve_now(model, use_predictor, priority,
+                         ServeStatus::kShutdown);
   }
   return future;  // unreachable
 }
@@ -251,11 +291,16 @@ void ServingFrontend::worker_main(Worker& self) {
 void ServingFrontend::process_batch(
     RequestQueue<Pending>::Batch& batch,
     std::map<std::string, EngineSlot>& backends, Worker& self) {
-  const std::size_t model_id = static_cast<std::size_t>(batch.lane >> 1);
+  const std::size_t model_id = static_cast<std::size_t>(batch.lane >> 3);
+  const auto priority = static_cast<Priority>((batch.lane >> 1) & 0x3u);
   const bool use_predictor = (batch.lane & 1) != 0;
+  const std::size_t cls = class_index(priority);
   const std::size_t n = batch.items.size();
   std::vector<char> resolved(n, 0);
   std::uint64_t ok = 0, failed = 0, dead = 0, retries_used = 0;
+  std::uint64_t degraded_ok = 0, probe_ok = 0, probe_failed = 0;
+  double exec_us_sum = 0.0;
+  std::uint64_t exec_samples = 0;
 
   // Failure containment: no exception may escape this function — a
   // batch-level failure resolves every not-yet-resolved request with
@@ -268,6 +313,7 @@ void ServingFrontend::process_batch(
       out.status = ServeStatus::kEngineError;
       out.model = pending.model;
       out.use_predictor = pending.use_predictor;
+      out.priority = pending.priority;
       out.error = what;
       out.batch_size = n;
       out.batch_close = batch.close;
@@ -275,10 +321,34 @@ void ServingFrontend::process_batch(
       out.queue_us = micros(batch.closed_at - batch.enqueued[i]);
       out.exec_us = micros(done - batch.closed_at);
       out.total_us = micros(done - batch.enqueued[i]);
+      if (pending.probe) ++probe_failed;
       pending.promise.set_value(std::move(out));
       resolved[i] = 1;
       ++failed;
     }
+  };
+
+  // Deadline shed: resolves request i as kDeadlineExceeded before any
+  // (further) compile or engine time is spent on it. Used at claim
+  // time and again before each retry-backoff sleep. A shed probe
+  // proved nothing, so it counts as a failed probe (conservative:
+  // the breaker re-opens rather than closing on no evidence).
+  const auto shed_deadline = [&](std::size_t i) {
+    Pending& pending = batch.items[i];
+    ServeResult out;
+    out.status = ServeStatus::kDeadlineExceeded;
+    out.model = pending.model;
+    out.use_predictor = pending.use_predictor;
+    out.priority = pending.priority;
+    out.batch_size = n;
+    out.batch_close = batch.close;
+    const auto now = RequestQueue<Pending>::Clock::now();
+    out.queue_us = micros(batch.closed_at - batch.enqueued[i]);
+    out.total_us = micros(now - batch.enqueued[i]);
+    if (pending.probe) ++probe_failed;
+    pending.promise.set_value(std::move(out));
+    resolved[i] = 1;
+    ++dead;
   };
 
   try {
@@ -292,24 +362,10 @@ void ServingFrontend::process_batch(
       entry = models_[model_id];
     }
 
-    // Deadline shed at claim time: a request that outlived its
-    // usefulness is resolved kDeadlineExceeded before any compile or
-    // engine time is spent on it.
     const auto claim_time = RequestQueue<Pending>::Clock::now();
     for (std::size_t i = 0; i < n; ++i) {
       if (batch.deadlines[i] >= claim_time) continue;
-      Pending& pending = batch.items[i];
-      ServeResult out;
-      out.status = ServeStatus::kDeadlineExceeded;
-      out.model = pending.model;
-      out.use_predictor = pending.use_predictor;
-      out.batch_size = n;
-      out.batch_close = batch.close;
-      out.queue_us = micros(batch.closed_at - batch.enqueued[i]);
-      out.total_us = micros(claim_time - batch.enqueued[i]);
-      pending.promise.set_value(std::move(out));
-      resolved[i] = 1;
-      ++dead;
+      shed_deadline(i);
     }
 
     if (dead < n) {
@@ -326,6 +382,17 @@ void ServingFrontend::process_batch(
         } catch (const std::exception&) {
           if (attempt >= options_.max_retries) throw;
           ++retries_used;
+          // A request whose absolute deadline falls inside the
+          // upcoming backoff sleep is already lost: shed it as
+          // kDeadlineExceeded *now* instead of sleeping through its
+          // deadline and then failing it after the final attempt.
+          const auto wake = RequestQueue<Pending>::Clock::now() +
+                            std::chrono::microseconds(backoff_us);
+          for (std::size_t i = 0; i < n; ++i) {
+            if (resolved[i] || batch.deadlines[i] >= wake) continue;
+            shed_deadline(i);
+          }
+          if (dead >= n) break;  // nobody left to retry for
           self.last_beat_us.store(steady_now_us(),
                                   std::memory_order_release);
           std::this_thread::sleep_for(
@@ -334,53 +401,107 @@ void ServingFrontend::process_batch(
         }
       }
 
-      EngineSlot& backend = backends[entry.arch.cache_key()];
-      if (!backend.engine)
-        backend.engine =
-            make_engine(options_.engine, entry.arch, options_.sim);
-      backend.arena.reserve(*image);
+      if (image) {
+        EngineSlot& backend = backends[entry.arch.cache_key()];
+        if (!backend.engine)
+          backend.engine =
+              make_engine(options_.engine, entry.arch, options_.sim);
+        backend.arena.reserve(*image);
 
-      for (std::size_t i = 0; i < n; ++i) {
-        if (resolved[i]) continue;
-        self.last_beat_us.store(steady_now_us(), std::memory_order_release);
-        // Chaos hook: an injected delay beyond the stall bound makes
-        // this worker "hang" mid-batch for the watchdog to catch.
-        (void)fault::point("serve.worker.hang");
-        Pending& pending = batch.items[i];
-        ServeResult out;
-        out.model = pending.model;
-        out.use_predictor = pending.use_predictor;
-        try {
-          const SimResult& r =
-              backend.engine->run(*image, pending.input, backend.arena,
-                                  ValidationMode::kOff);
-          out.result = r;  // copy out: the arena slot is reused next run
-        } catch (const std::exception& e) {
-          // Per-request containment: this request fails, the rest of
-          // the batch still executes.
-          out.status = ServeStatus::kEngineError;
-          out.error = e.what();
-        } catch (...) {
-          out.status = ServeStatus::kEngineError;
-          out.error = "unknown engine error";
+        // Degraded-mode inputs, sampled once per batch: the brownout
+        // signal (queue pressure + recent deadline sheds) and the
+        // model's observed cycle-path latency.
+        const bool degradable =
+            options_.allow_degraded && options_.engine == EngineKind::kCycle;
+        bool brownout = false;
+        double est_exec_us = 0.0;
+        if (degradable) {
+          brownout = queue_.size() >= brownout_depth_ ||
+                     (options_.brownout_deadline_sheds > 0 &&
+                      health_.recent_deadline_sheds() >=
+                          options_.brownout_deadline_sheds);
+          est_exec_us = health_.estimated_exec_us(model_id);
         }
-        if (out.status == ServeStatus::kOk &&
-            fault::point("serve.result.corrupt")) {
-          fault::corrupt_i16(out.result.output);
-          out.fault_corrupted = true;
+
+        for (std::size_t i = 0; i < n; ++i) {
+          if (resolved[i]) continue;
+          self.last_beat_us.store(steady_now_us(),
+                                  std::memory_order_release);
+          // Chaos hook: an injected delay beyond the stall bound makes
+          // this worker "hang" mid-batch for the watchdog to catch.
+          (void)fault::point("serve.worker.hang");
+          Pending& pending = batch.items[i];
+          ServeResult out;
+          out.model = pending.model;
+          out.use_predictor = pending.use_predictor;
+          out.priority = pending.priority;
+          // Degrade to the analytic fallback when the frontend is in
+          // brownout, or when this request's remaining deadline budget
+          // is provably below the model's observed cycle-path latency
+          // — a functional answer beats a deadline shed.
+          bool degrade = degradable && brownout;
+          if (degradable && !degrade &&
+              batch.deadlines[i] != RequestQueue<Pending>::kNoDeadline &&
+              est_exec_us > 0.0) {
+            const double budget_us =
+                micros(batch.deadlines[i] -
+                       RequestQueue<Pending>::Clock::now());
+            degrade = budget_us < est_exec_us;
+          }
+          ExecutionEngine* engine = backend.engine.get();
+          if (degrade) {
+            if (!backend.fallback)
+              backend.fallback = make_engine(EngineKind::kAnalytic,
+                                             entry.arch, options_.sim);
+            engine = backend.fallback.get();
+          }
+          const auto run_begin = RequestQueue<Pending>::Clock::now();
+          try {
+            // Chaos hook on the fallback boundary: a throw here is
+            // per-request contained like any engine failure.
+            if (degrade) (void)fault::point("serve.degrade.run");
+            const SimResult& r = engine->run(*image, pending.input,
+                                             backend.arena,
+                                             ValidationMode::kOff);
+            out.result = r;  // copy out: the arena slot is reused next run
+          } catch (const std::exception& e) {
+            // Per-request containment: this request fails, the rest of
+            // the batch still executes.
+            out.status = ServeStatus::kEngineError;
+            out.error = e.what();
+          } catch (...) {
+            out.status = ServeStatus::kEngineError;
+            out.error = "unknown engine error";
+          }
+          if (out.status == ServeStatus::kOk &&
+              fault::point("serve.result.corrupt")) {
+            fault::corrupt_i16(out.result.output);
+            out.fault_corrupted = true;
+          }
+          const auto done = RequestQueue<Pending>::Clock::now();
+          out.degraded = degrade && out.status == ServeStatus::kOk;
+          out.batch_size = n;
+          out.batch_close = batch.close;
+          out.queue_us = micros(batch.closed_at - batch.enqueued[i]);
+          out.exec_us = micros(done - batch.closed_at);
+          out.total_us = micros(done - batch.enqueued[i]);
+          if (out.status == ServeStatus::kOk) {
+            ++ok;
+            if (out.degraded) ++degraded_ok;
+            if (pending.probe) ++probe_ok;
+            if (!degrade && health_.enabled()) {
+              // Primary-path latency sample for the degraded-mode
+              // budget estimate (fallback runs excluded on purpose).
+              exec_us_sum += micros(done - run_begin);
+              ++exec_samples;
+            }
+          } else {
+            ++failed;
+            if (pending.probe) ++probe_failed;
+          }
+          pending.promise.set_value(std::move(out));
+          resolved[i] = 1;
         }
-        const auto done = RequestQueue<Pending>::Clock::now();
-        out.batch_size = n;
-        out.batch_close = batch.close;
-        out.queue_us = micros(batch.closed_at - batch.enqueued[i]);
-        out.exec_us = micros(done - batch.closed_at);
-        out.total_us = micros(done - batch.enqueued[i]);
-        if (out.status == ServeStatus::kOk)
-          ++ok;
-        else
-          ++failed;
-        pending.promise.set_value(std::move(out));
-        resolved[i] = 1;
       }
     }
   } catch (const std::exception& e) {
@@ -395,6 +516,10 @@ void ServingFrontend::process_batch(
     failed_ += failed;
     shed_ += dead;
     deadline_shed_ += dead;
+    degraded_completed_ += degraded_ok;
+    completed_by_class_[cls] += ok;
+    failed_by_class_[cls] += failed;
+    shed_by_class_[cls] += dead;
     retries_ += retries_used;
     const std::size_t bucket = std::min(n, batch_size_counts_.size()) - 1;
     ++batch_size_counts_[bucket];
@@ -403,6 +528,18 @@ void ServingFrontend::process_batch(
       case BatchClose::kTimeout: ++timeout_closes_; break;
       case BatchClose::kDrain: ++drain_closes_; break;
     }
+  }
+
+  if (health_.enabled()) {
+    ModelHealth::BatchOutcome outcome;
+    outcome.ok = ok;
+    outcome.failed = failed;
+    outcome.deadline_shed = dead;
+    outcome.probe_ok = probe_ok;
+    outcome.probe_failed = probe_failed;
+    outcome.exec_us_sum = exec_us_sum;
+    outcome.exec_samples = exec_samples;
+    health_.record(model_id, outcome);
   }
 }
 
@@ -450,6 +587,12 @@ ServingStats ServingFrontend::stats() const {
     out.shed = shed_;
     out.failed = failed_;
     out.deadline_shed = deadline_shed_;
+    out.circuit_shed = circuit_shed_;
+    out.degraded_completed = degraded_completed_;
+    out.submitted_by_class = submitted_by_class_;
+    out.completed_by_class = completed_by_class_;
+    out.shed_by_class = shed_by_class_;
+    out.failed_by_class = failed_by_class_;
     out.retries = retries_;
     out.workers_restarted = workers_restarted_;
     out.size_closes = size_closes_;
@@ -460,6 +603,9 @@ ServingStats ServingFrontend::stats() const {
   out.batches = queue_.batches();
   out.zoo_compiles = zoos_.compile_count();
   out.zoo_hits = zoos_.hit_count();
+  out.breaker_opens = health_.opens();
+  out.breaker_probes = health_.probes();
+  out.breaker_closes = health_.closes();
   return out;
 }
 

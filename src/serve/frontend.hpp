@@ -61,9 +61,28 @@
 //     control (global queue capacity, or the per-model lane depth)
 //     resolves its future immediately with a shed status.
 //
+//   priorities — SubmitOptions::priority selects the admission
+//     watermarks (best-effort sheds first as depth rises) and the
+//     claiming class (oldest-highest-first), so overload degrades
+//     best-effort availability before normal, and normal before high.
+//
+//   circuit breakers — ModelHealth (serve/health.hpp) watches each
+//     model's sliding-window failure rate; past the threshold, new
+//     submissions shed immediately as kShedCircuitOpen with zero
+//     queue/worker time until seeded half-open probes prove recovery.
+//
+//   degraded mode — with a kCycle primary and allow_degraded, a
+//     request whose deadline budget is provably below the model's
+//     observed cycle-path latency (or claimed during brownout) runs
+//     on the AnalyticEngine fallback and is marked degraded instead
+//     of being shed — fidelity degrades before availability.
+//
 // Accounting is exact: submitted == completed + shed + failed once
 // the frontend is drained (deadline sheds count into `shed` and are
-// also broken out as `deadline_shed`).
+// also broken out as `deadline_shed`; circuit sheds likewise as
+// `circuit_shed`; degraded completions count into `completed` and are
+// broken out as `degraded_completed`), and the same identity holds
+// per priority class.
 //
 // Fault points (common/fault.hpp) are threaded through the stack —
 // serve.queue.push, serve.worker.batch, serve.worker.hang,
@@ -75,6 +94,7 @@
 // joins its workers in shutdown()/destructor after draining the
 // queue.
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -91,6 +111,7 @@
 #include "common/sync.hpp"
 #include "core/zoo_registry.hpp"
 #include "nn/quantized.hpp"
+#include "serve/health.hpp"
 #include "serve/request_queue.hpp"
 #include "sim/engine.hpp"
 
@@ -125,12 +146,35 @@ struct ServingOptions {
   std::uint64_t worker_stall_timeout_us = 0;
   /// Supervisor poll period (only meaningful with the watchdog on).
   std::uint64_t watchdog_interval_us = 1000;
+  /// Per-class admission watermarks (fractions of queue_capacity and
+  /// max_queued_per_model, indexed by class_index): lower classes shed
+  /// first as depth rises. All-1.0 (the default) admits every class to
+  /// the full bounds — priority admission is opt-in.
+  std::array<double, kNumPriorityClasses> class_watermarks{1.0, 1.0, 1.0};
+  /// Per-model circuit breaker (serve/health.hpp). breaker.window == 0
+  /// (the default) disables circuit breaking.
+  BreakerOptions breaker{};
+  /// Degraded-mode fallback: with a kCycle primary engine, a request
+  /// whose deadline budget is provably below the model's observed
+  /// cycle-path latency — or any request claimed while the frontend is
+  /// in brownout — transparently runs on the per-arch AnalyticEngine
+  /// instead of being lost, marked ServeResult::degraded. Bit-exact
+  /// functional output either way; only the cycle estimate degrades.
+  bool allow_degraded = false;
+  /// Brownout (queue-pressure) signal: active while the global queue
+  /// depth is at/above brownout_queue_fraction × queue_capacity, or
+  /// at least brownout_deadline_sheds of the last brownout_window
+  /// request outcomes were deadline sheds.
+  double brownout_queue_fraction = 0.9;
+  std::uint64_t brownout_deadline_sheds = 64;
+  std::size_t brownout_window = 512;
 };
 
 enum class ServeStatus {
   kOk,
-  kShedQueueFull,      ///< global queue capacity reached
+  kShedQueueFull,      ///< global (class-watermarked) capacity reached
   kShedModelBusy,      ///< this model's lane depth bound reached
+  kShedCircuitOpen,    ///< this model's circuit breaker is open
   kShutdown,           ///< submitted after/while shutting down
   kDeadlineExceeded,   ///< expired before execution; shed unexecuted
   kEngineError,        ///< execution failed; `error` carries the cause
@@ -139,12 +183,15 @@ enum class ServeStatus {
 const char* to_string(ServeStatus status) noexcept;
 
 /// Per-request submission knobs (the two-arg submit() overload uses
-/// the defaults: uv on, no deadline).
+/// the defaults: uv on, no deadline, normal priority).
 struct SubmitOptions {
   bool use_predictor = true;
   /// Deadline relative to submit(), microseconds; past it the request
   /// is shed as kDeadlineExceeded instead of executed. 0 = none.
   std::uint64_t deadline_us = 0;
+  /// Admission/claiming class (serve/request_queue.hpp): best-effort
+  /// sheds first under load, high-priority heads are served first.
+  Priority priority = Priority::kNormal;
 };
 
 /// One completed (or shed/failed) request.
@@ -152,6 +199,11 @@ struct ServeResult {
   ServeStatus status = ServeStatus::kOk;
   std::size_t model = 0;
   bool use_predictor = true;
+  Priority priority = Priority::kNormal;
+  /// True when this request ran on the degraded-mode AnalyticEngine
+  /// fallback instead of the configured kCycle primary (functional
+  /// output bit-identical to a direct AnalyticEngine run).
+  bool degraded = false;
   SimResult result;            ///< empty when shed or failed
   std::string error;           ///< kEngineError: the exception message
   /// True when the fault framework's serve.result.corrupt point fired
@@ -173,8 +225,24 @@ struct ServingStats {
   std::uint64_t shed = 0;
   std::uint64_t failed = 0;         ///< resolved kEngineError
   std::uint64_t deadline_shed = 0;  ///< subset of `shed`
+  std::uint64_t circuit_shed = 0;   ///< subset of `shed` (breaker open)
   std::uint64_t retries = 0;        ///< compile-image retry attempts
   std::uint64_t workers_restarted = 0;
+  /// Per-priority-class breakdown (indexed by class_index); each
+  /// class's own accounting identity holds exactly:
+  /// submitted_by_class == completed_by_class + shed_by_class +
+  /// failed_by_class once drained.
+  std::array<std::uint64_t, kNumPriorityClasses> submitted_by_class{};
+  std::array<std::uint64_t, kNumPriorityClasses> completed_by_class{};
+  std::array<std::uint64_t, kNumPriorityClasses> shed_by_class{};
+  std::array<std::uint64_t, kNumPriorityClasses> failed_by_class{};
+  /// Completions served by the degraded-mode analytic fallback
+  /// (subset of `completed`).
+  std::uint64_t degraded_completed = 0;
+  /// Circuit-breaker transition counters (ModelHealth).
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t breaker_probes = 0;
+  std::uint64_t breaker_closes = 0;
   std::uint64_t batches = 0;
   std::uint64_t size_closes = 0;
   std::uint64_t timeout_closes = 0;
@@ -236,10 +304,24 @@ class ServingFrontend {
   std::size_t num_models() const;
   ServingStats stats() const;
 
+  /// Current breaker state of a model handle (kClosed when breakers
+  /// are disabled or the handle is unknown).
+  BreakerState breaker_state(std::size_t model) const {
+    return health_.state(model);
+  }
+  /// Breaker transition sequence in occurrence order — with a fixed
+  /// breaker seed and a single-worker schedule this is deterministic
+  /// (tests/overload_test.cpp pins it).
+  std::vector<ModelHealth::Transition> breaker_transitions() const {
+    return health_.transitions();
+  }
+
  private:
   struct Pending {
     std::size_t model = 0;
     bool use_predictor = true;
+    Priority priority = Priority::kNormal;
+    bool probe = false;  ///< half-open breaker probe (outcome reported)
     std::vector<float> input;
     std::promise<ServeResult> promise;
   };
@@ -267,9 +349,10 @@ class ServingFrontend {
   void spawn_worker_locked() SPARSENN_REQUIRES(workers_mutex_);
   /// Resolves a future immediately (shed / admission failure). The
   /// caller has already counted the request into submitted_; this only
-  /// bumps the outcome counter (shed_ or failed_).
+  /// bumps the outcome counters (shed_ or failed_, plus per-class).
   std::future<ServeResult> resolve_now(std::size_t model,
                                        bool use_predictor,
+                                       Priority priority,
                                        ServeStatus status,
                                        std::string error = {})
       SPARSENN_EXCLUDES(stats_mutex_);
@@ -284,6 +367,10 @@ class ServingFrontend {
   ServingOptions options_;
   ZooRegistry zoos_;
   RequestQueue<Pending> queue_;
+  ModelHealth health_;
+  /// Brownout queue-depth trigger, precomputed from
+  /// brownout_queue_fraction × queue_capacity — immutable.
+  std::size_t brownout_depth_ = 0;
 
   mutable sync::Mutex models_mutex_;
   std::vector<ModelEntry> models_ SPARSENN_GUARDED_BY(models_mutex_);
@@ -294,6 +381,16 @@ class ServingFrontend {
   std::uint64_t shed_ SPARSENN_GUARDED_BY(stats_mutex_) = 0;
   std::uint64_t failed_ SPARSENN_GUARDED_BY(stats_mutex_) = 0;
   std::uint64_t deadline_shed_ SPARSENN_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t circuit_shed_ SPARSENN_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t degraded_completed_ SPARSENN_GUARDED_BY(stats_mutex_) = 0;
+  std::array<std::uint64_t, kNumPriorityClasses> submitted_by_class_
+      SPARSENN_GUARDED_BY(stats_mutex_){};
+  std::array<std::uint64_t, kNumPriorityClasses> completed_by_class_
+      SPARSENN_GUARDED_BY(stats_mutex_){};
+  std::array<std::uint64_t, kNumPriorityClasses> shed_by_class_
+      SPARSENN_GUARDED_BY(stats_mutex_){};
+  std::array<std::uint64_t, kNumPriorityClasses> failed_by_class_
+      SPARSENN_GUARDED_BY(stats_mutex_){};
   std::uint64_t retries_ SPARSENN_GUARDED_BY(stats_mutex_) = 0;
   std::uint64_t workers_restarted_ SPARSENN_GUARDED_BY(stats_mutex_) = 0;
   std::uint64_t size_closes_ SPARSENN_GUARDED_BY(stats_mutex_) = 0;

@@ -20,10 +20,22 @@
 // queueing unboundedly — under overload the queue converts load into
 // a measured shed rate, not into latency collapse.
 //
+// Priority classes: each lane carries a Priority (the frontend keys
+// lanes by (model, uv, priority)) and admission is watermarked per
+// class — class c is admitted only while the global depth (and the
+// lane depth) is below watermark[c] × the bound, so with e.g.
+// {1.0, 0.85, 0.5} best-effort traffic sheds first as depth rises,
+// normal next, and high-priority requests keep the full bound. The
+// defaults are all 1.0 (no differentiation) so priority admission is
+// strictly opt-in.
+//
 // Consumers claim a lane exclusively while forming its batch (the
 // in_service flag), so two workers never co-assemble one lane; lanes
-// are claimed oldest-head-first, which keeps cross-model service
-// order globally FIFO-ish under mixed traffic. All state lives under
+// are claimed oldest-highest-first — the most urgent priority class
+// among serviceable lanes wins, and the oldest head request breaks
+// ties — so a high-priority head never starves behind a best-effort
+// flood, and service order stays FIFO-ish within a class. All state
+// lives under
 // one mutex with one consumer-side condition variable (producer-side
 // none — push never blocks); the locking contract is *static*: every
 // field is SPARSENN_GUARDED_BY(mutex_) and clang's -Wthread-safety
@@ -44,6 +56,7 @@
 // (steady clock) so the timeout trigger measures true queue residence.
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <deque>
@@ -56,6 +69,30 @@
 #include "common/sync.hpp"
 
 namespace sparsenn {
+
+/// Request priority classes, most urgent first (the numeric order is
+/// the claiming order: lower value = served first, shed last).
+enum class Priority : std::uint8_t {
+  kHigh = 0,        ///< latency-critical: full admission bound
+  kNormal = 1,      ///< default traffic
+  kBestEffort = 2,  ///< background / speculative: sheds first
+};
+
+inline constexpr std::size_t kNumPriorityClasses = 3;
+
+/// Priority → array index for per-class tables and counters.
+constexpr std::size_t class_index(Priority priority) noexcept {
+  return static_cast<std::size_t>(priority);
+}
+
+constexpr const char* to_string(Priority priority) noexcept {
+  switch (priority) {
+    case Priority::kHigh: return "high";
+    case Priority::kNormal: return "normal";
+    case Priority::kBestEffort: return "best-effort";
+  }
+  return "unknown";
+}
 
 /// Why a micro-batch was closed (reported per batch for the serving
 /// histograms; tests pin the trigger semantics).
@@ -84,6 +121,12 @@ class RequestQueue {
     std::size_t max_lane_depth = 256;  ///< per-lane admission bound
     std::size_t max_batch = 8;         ///< micro-batch size trigger
     std::chrono::microseconds max_wait{200};  ///< latency budget
+    /// Per-class admission watermarks, fractions of capacity /
+    /// max_lane_depth (indexed by class_index). Must be in (0, 1] and
+    /// non-increasing from kHigh to kBestEffort — lower classes shed
+    /// first as depth rises. All-1.0 (the default) disables priority
+    /// admission.
+    std::array<double, kNumPriorityClasses> class_watermarks{1.0, 1.0, 1.0};
   };
 
   /// Sentinel for "no deadline".
@@ -106,15 +149,28 @@ class RequestQueue {
     expects(options_.capacity > 0, "queue capacity must be at least 1");
     expects(options_.max_lane_depth > 0, "lane depth must be at least 1");
     expects(options_.max_batch > 0, "max_batch must be at least 1");
+    double previous = 1.0;
+    for (std::size_t c = 0; c < kNumPriorityClasses; ++c) {
+      const double w = options_.class_watermarks[c];
+      expects(w > 0.0 && w <= 1.0, "class watermarks must be in (0, 1]");
+      expects(w <= previous,
+              "class watermarks must be non-increasing from kHigh");
+      previous = w;
+      global_limits_[c] = watermark_limit(w, options_.capacity);
+      lane_limits_[c] = watermark_limit(w, options_.max_lane_depth);
+    }
   }
 
   /// Non-blocking admission: sheds instead of waiting (the caller
   /// converts a shed into an immediate client-visible response).
   /// `deadline` is the request's absolute expiry (kNoDeadline = none);
   /// it travels with the item and steers the consumer's batch-close
-  /// wait.
+  /// wait. `priority` selects the admission watermarks and becomes the
+  /// lane's claiming class (the caller keys lanes by priority, so one
+  /// lane never mixes classes).
   PushOutcome try_push(std::uint64_t lane_id, T item,
-                       Clock::time_point deadline = kNoDeadline)
+                       Clock::time_point deadline = kNoDeadline,
+                       Priority priority = Priority::kNormal)
       SPARSENN_EXCLUDES(mutex_) {
     // Chaos hook, outside the lock: an injected delay models a slow
     // admission path, an injected throw is contained by the caller
@@ -123,15 +179,16 @@ class RequestQueue {
     {
       const sync::MutexLock lock(mutex_);
       if (closed_) return PushOutcome::kClosed;
-      if (total_ >= options_.capacity) {
+      if (total_ >= global_limits_[class_index(priority)]) {
         ++shed_queue_full_;
         return PushOutcome::kShedQueueFull;
       }
       Lane& lane = lanes_[lane_id];
-      if (lane.slots.size() >= options_.max_lane_depth) {
+      if (lane.slots.size() >= lane_limits_[class_index(priority)]) {
         ++shed_lane_full_;
         return PushOutcome::kShedLaneFull;
       }
+      lane.priority = priority;
       lane.slots.push_back(
           Slot{std::move(item), Clock::now(), deadline, seq_++});
       ++total_;
@@ -152,12 +209,20 @@ class RequestQueue {
     for (;;) {
       Lane* lane = nullptr;
       std::uint64_t lane_id = 0;
-      // Claim the serviceable lane with the oldest head request.
+      // Oldest-highest-first claim: the most urgent priority class
+      // among serviceable lanes wins; the oldest head request breaks
+      // ties within a class. A best-effort flood therefore never
+      // delays a waiting high-priority head by more than the batch
+      // already being assembled.
+      auto best_pri = static_cast<std::uint8_t>(0xFF);
       std::uint64_t best_seq = ~std::uint64_t{0};
       for (auto& [id, candidate] : lanes_) {
         if (candidate.in_service || candidate.slots.empty()) continue;
-        if (candidate.slots.front().seq < best_seq) {
-          best_seq = candidate.slots.front().seq;
+        const auto pri = static_cast<std::uint8_t>(candidate.priority);
+        const std::uint64_t seq = candidate.slots.front().seq;
+        if (pri < best_pri || (pri == best_pri && seq < best_seq)) {
+          best_pri = pri;
+          best_seq = seq;
           lane = &candidate;
           lane_id = id;
         }
@@ -275,9 +340,21 @@ class RequestQueue {
   struct Lane {
     std::deque<Slot> slots;
     bool in_service = false;
+    Priority priority = Priority::kNormal;  ///< claiming class
   };
 
+  /// Admission bound for one class: floor(w × bound), at least 1 so a
+  /// watermarked class can always make *some* progress on an idle
+  /// queue.
+  static std::size_t watermark_limit(double w, std::size_t bound) {
+    return std::max<std::size_t>(
+        1, static_cast<std::size_t>(w * static_cast<double>(bound)));
+  }
+
   Options options_;  ///< immutable after construction — no guard
+  /// Per-class depth bounds derived from class_watermarks — immutable.
+  std::array<std::size_t, kNumPriorityClasses> global_limits_{};
+  std::array<std::size_t, kNumPriorityClasses> lane_limits_{};
   mutable sync::Mutex mutex_;
   sync::CondVar work_cv_;
   std::map<std::uint64_t, Lane> lanes_ SPARSENN_GUARDED_BY(mutex_);

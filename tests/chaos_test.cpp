@@ -280,6 +280,43 @@ TEST(Retry, ExhaustedRetriesFailTheBatchWithEngineError) {
   EXPECT_EQ(stats.submitted, stats.completed + stats.shed + stats.failed);
 }
 
+TEST(Retry, BackoffDoesNotSleepThroughARequestDeadline) {
+  // Regression: the retry loop used to sleep the full backoff even
+  // when every unresolved request's absolute deadline fell inside the
+  // sleep — the client then waited out the whole exponential-backoff
+  // ladder only to get kEngineError. Now requests whose deadline
+  // expires during the computed backoff are shed kDeadlineExceeded
+  // before the sleep (and the sleep is skipped when nothing survives).
+  const Fixture f = make_batch_fixture(2, /*seed=*/103);
+  ServingOptions options = chaos_options(/*workers=*/1);
+  options.max_retries = 3;
+  options.retry_backoff_us = 200000;  // 200ms, 400ms, 800ms ladder
+  ServingFrontend frontend(options);
+  const std::size_t model = frontend.register_model(f.network, tiny_arch());
+
+  fault::ScopedFaultStorm storm(31);
+  storm.add({.point = "zoo.compile", .action = fault::FaultAction::kThrow,
+             .probability = 1.0, .message = "persistent compile failure"});
+
+  SubmitOptions tight;
+  tight.deadline_us = 50000;  // expires inside the first 200ms backoff
+  const auto start = std::chrono::steady_clock::now();
+  const ServeResult r = frontend.submit(model, f.data.image(0), tight).get();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  EXPECT_EQ(r.status, ServeStatus::kDeadlineExceeded);
+  EXPECT_TRUE(r.result.layers.empty());
+  // Resolves as soon as the first attempt fails — far short of the
+  // 1.4s the full ladder would burn, and short of even one backoff.
+  EXPECT_LT(elapsed, 150ms);
+  frontend.shutdown();
+
+  const ServingStats stats = frontend.stats();
+  EXPECT_EQ(stats.deadline_shed, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.submitted, stats.completed + stats.shed + stats.failed);
+}
+
 // ---------------------------------------------------------------------------
 // Watchdog: an injected hang is detected, capacity is restored, and
 // the hung batch still resolves.
@@ -509,6 +546,7 @@ TEST(ChaosStorm, ThousandsOfRequestsUnderARandomizedFaultStorm) {
       }
       case ServeStatus::kShedQueueFull:
       case ServeStatus::kShedModelBusy:
+      case ServeStatus::kShedCircuitOpen:
       case ServeStatus::kShutdown:
       case ServeStatus::kDeadlineExceeded:
         ++shed;

@@ -149,6 +149,39 @@ void run() { (void)fault::point("engine.run"); }
         self.assertIn("made_up_metric", out)
         self.assertNotIn("p99_us", out)
 
+    def test_overload_gate_keys_need_a_bench_producer(self):
+        # The overload/degraded CI gates read per-class and breaker
+        # keys out of serving_load.json; each must be emitted by a
+        # bench writer or the gate dereferences a key that can never
+        # exist. Mixed subscript and .get() access must both count as
+        # gated, and a producer that emits only *some* keys must be
+        # flagged for exactly the missing ones.
+        write(self.root, "src/engine.cpp",
+              '#include "common/fault.hpp"\n'
+              'void run() { (void)fault::point("engine.run"); }\n')
+        write(self.root, ".github/workflows/ci.yml",
+              '          ov["breaker_recovered"]\n'
+              '          ov["circuit_shed"]\n'
+              '          dg.get("bit_identical")\n'
+              '          dg["degraded_completed"]\n')
+        write(self.root, "bench/load.cpp",
+              'os << "\\"circuit_shed\\": " << stats.circuit_shed;\n'
+              'os << "\\"bit_identical\\": " << (ok ? "true" : "false");\n')
+        status, out = run_lint(self.root)
+        self.assertEqual(status, 1, out)
+        self.assertIn("breaker_recovered", out)
+        self.assertIn("degraded_completed", out)
+        self.assertNotIn("circuit_shed", out)
+        self.assertNotIn("bit_identical", out)
+        # Completing the producer clears the gate.
+        write(self.root, "bench/load.cpp",
+              'os << "\\"circuit_shed\\": " << stats.circuit_shed;\n'
+              'os << "\\"bit_identical\\": " << (ok ? "true" : "false");\n'
+              'os << "\\"breaker_recovered\\": true";\n'
+              'os << "\\"degraded_completed\\": " << n;\n')
+        status, out = run_lint(self.root)
+        self.assertEqual(status, 0, out)
+
     def test_event_gate_keys_resolve_via_baseline(self):
         # The event-core CI gates (event_speedup, event_bit_identical)
         # may be satisfied by the committed BENCH_baseline.json as well
